@@ -1,0 +1,65 @@
+"""Ablation - life after conversion: degraded reads and write amplification.
+
+The conversion decides which code the array runs for years afterwards,
+so the post-conversion service profile matters: how expensive is a read
+while a disk is down, and how many physical I/Os does a logical write
+cost.  Analytic degraded-read costs come from the chain model (validated
+against live-array counters in the tests); write amplification is
+measured by replaying a logical workload on real arrays.
+"""
+
+import numpy as np
+
+from repro.analysis.degraded import degraded_read_table
+from repro.codes import CODE_NAMES, get_code, get_layout
+from repro.raid import BlockArray, Raid6Array
+from repro.workloads.replay import logical_workload, replay
+
+P = 7
+
+
+def _degraded():
+    rows = []
+    for name in CODE_NAMES:
+        lay = get_layout(name, P)
+        profiles = degraded_read_table(lay)
+        worst = max(p.expected_read_cost for p in profiles)
+        avg = sum(p.expected_read_cost for p in profiles) / len(profiles)
+        rows.append((name, avg, worst))
+    return rows
+
+
+def _amplification():
+    rng = np.random.default_rng(0)
+    rows = []
+    for name in CODE_NAMES:
+        code = get_code(name, P)
+        arr = BlockArray(code.n_disks, 2 * code.rows, block_size=8)
+        r6 = Raid6Array(arr, code)
+        r6.format_with(
+            rng.integers(0, 256, size=(r6.capacity_blocks, 8), dtype=np.uint8)
+        )
+        w = logical_workload(rng, 120, r6.capacity_blocks, read_fraction=0.0)
+        res = replay(r6, w, rng)
+        rows.append((name, res.write_amplification))
+    return rows
+
+
+def bench_ablation_degraded_reads(benchmark, show):
+    rows = benchmark(_degraded)
+    amp = dict(_amplification())
+    lines = [
+        f"Post-conversion service profile at p={P}",
+        f"{'code':>8} {'degraded read (avg)':>20} {'(worst col)':>12} {'write amp':>10}",
+    ]
+    for name, avg, worst in sorted(rows, key=lambda r: r[1]):
+        lines.append(f"{name:>8} {avg:>20.2f} {worst:>12.2f} {amp[name]:>10.2f}")
+    show("\n".join(lines))
+    by = {name: (avg, worst) for name, avg, worst in rows}
+    # every code's degraded read stays below a full-stripe rebuild
+    for name, (avg, worst) in by.items():
+        lay = get_layout(name, P)
+        assert worst <= lay.num_data
+    # optimal-update codes amplify writes by exactly 3
+    assert amp["code56"] == 3.0
+    assert amp["hdp"] == 4.0

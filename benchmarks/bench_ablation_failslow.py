@@ -1,0 +1,68 @@
+"""Ablation - a fail-slow disk during the conversion.
+
+Disks rarely fail cleanly; they get *slow* (the fail-slow fault model).
+The result is sobering and layout-independent: the conversion streams
+every disk at near-full-track utilisation (reads on the old disks, the
+parity column on the new one, and rotational fly-over makes a
+3-of-4-rows read pattern cost a full track anyway), so ONE slow spindle
+sets the pace of the whole migration - whether it holds data or parity,
+and whether or not the parity role rotates.  Fail-slow detection, not
+layout, is the defence; the paper's shorter conversion window is what
+bounds the exposure.
+"""
+
+import numpy as np
+
+from repro.migration import build_plan
+from repro.migration.approaches import alignment_cycle
+from repro.simdisk import DiskArraySimulator, DiskModel, get_preset
+from repro.workloads import conversion_trace
+
+P = 5
+BLOCKS = 2_400  # event-driven engine: keep the request count modest
+FAST = get_preset("sata-7200")
+SLOW = DiskModel(
+    name="fail-slow",
+    rpm=FAST.rpm,
+    single_cyl_seek_ms=FAST.single_cyl_seek_ms * 4,
+    max_seek_ms=FAST.max_seek_ms * 4,
+    cylinders=FAST.cylinders,
+    blocks_per_cylinder=FAST.blocks_per_cylinder,
+    transfer_mb_s=FAST.transfer_mb_s / 4,
+)
+
+
+def _makespan(slow_disk: int | None, lb: int | None) -> float:
+    plan = build_plan("code56", "direct", P, groups=alignment_cycle("code56", P))
+    trace = conversion_trace(
+        plan, total_data_blocks=BLOCKS, block_size=4096, lb_rotation_period=lb
+    )
+    models = [FAST] * plan.n
+    if slow_disk is not None:
+        models[slow_disk] = SLOW
+    sim = DiskArraySimulator(FAST, plan.n, scheduler="fcfs", models=models)
+    return sim.run(trace).makespan_s
+
+
+def _sweep():
+    return {
+        "healthy NLB": _makespan(None, None),
+        "slow parity disk, NLB": _makespan(P - 1, None),
+        "slow data disk, NLB": _makespan(0, None),
+        "slow parity disk, LB": _makespan(P - 1, 4),
+    }
+
+
+def bench_ablation_failslow(benchmark, show):
+    out = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    lines = [f"Fail-slow disk during the Code 5-6 conversion (p={P}, B={BLOCKS})"]
+    for label, secs in out.items():
+        lines.append(f"  {label:>24}: {secs:7.3f}s")
+    lines.append("  -> one slow spindle paces the conversion, wherever it sits")
+    show("\n".join(lines))
+    healthy = out["healthy NLB"]
+    slow_cases = [v for k, v in out.items() if k != "healthy NLB"]
+    # any fail-slow disk throttles the conversion by roughly its slowdown
+    assert all(v > 2.5 * healthy for v in slow_cases)
+    # and the layout/rotation makes no material difference (within 10%)
+    assert max(slow_cases) <= 1.1 * min(slow_cases)

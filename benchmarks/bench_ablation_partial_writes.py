@@ -1,0 +1,48 @@
+"""Ablation - partial-stripe write cost across the comparison codes.
+
+Post-conversion write behaviour matters as much as the conversion itself
+(Table III's "single write performance" and the paper's Section V-D note
+that "Code 5-6 provides high write performance after conversion").  This
+sweep prices writes of w consecutive blocks for every code: average
+best-path I/Os per written block.
+"""
+
+from repro.analysis.writes import average_partial_write_cost
+from repro.codes import CODE_NAMES, get_layout
+
+P = 7
+LENGTHS = (1, 2, 4, 8, 16)
+
+
+def _sweep():
+    table = {}
+    for name in CODE_NAMES:
+        lay = get_layout(name, P)
+        table[name] = [
+            average_partial_write_cost(lay, w) / w
+            for w in LENGTHS
+            if w <= lay.num_data
+        ]
+    return table
+
+
+def bench_ablation_partial_writes(benchmark, show):
+    table = benchmark(_sweep)
+    lines = [
+        f"Partial-stripe writes at p={P}: average I/Os per written block",
+        f"{'code':>8} " + " ".join(f"w={w:>2}   " for w in LENGTHS),
+    ]
+    for name, vals in sorted(table.items()):
+        cells = " ".join(f"{v:7.2f}" for v in vals)
+        lines.append(f"{name:>8} {cells}")
+    show("\n".join(lines))
+    # single writes: Code 5-6 is optimal (6 I/Os); HDP's penalty-3 update
+    # (8 I/Os) and EVENODD's adjuster storm are the expensive tails
+    singles = {name: vals[0] for name, vals in table.items()}
+    assert singles["code56"] == 6.0
+    assert singles["code56"] == min(singles.values())
+    assert singles["hdp"] == 8.0
+    assert singles["evenodd"] > singles["rdp"] > singles["code56"]
+    # amortisation: every code gets cheaper per block as w grows
+    for name, vals in table.items():
+        assert vals[-1] <= vals[0]

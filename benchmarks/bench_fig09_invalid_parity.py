@@ -1,0 +1,23 @@
+"""Figure 9 - invalid parity ratio (fraction of B).
+
+Invalid parity blocks set to NULL during conversion, normalised by B.
+Two-step RAID-0 conversions and the vertical in-place codes invalidate
+the old rotating parities; Code 5-6 reuses them as its horizontal
+parities, so its ratio is identically zero (a 100% reduction).
+
+Regenerates the figure's series for p in {5, 7, 11, 13} from
+block-accurate (engine-verified) conversion plans.
+"""
+
+from conftest import compute_metric_series, render_series
+
+
+def bench_fig09_invalid_parity(benchmark, show):
+    rows = benchmark(compute_metric_series, "invalid_parity_ratio")
+    assert rows, "no series produced"
+    show(render_series("Figure 9 - invalid parity ratio (fraction of B)", rows))
+    # Code 5-6's series must be minimal in every column of this figure
+    code56 = next(vals for key, vals in rows if "code56" in key)
+    for key, vals in rows:
+        for ours, theirs in zip(code56, vals):
+            assert ours <= theirs + 1e-9, (key, ours, theirs)

@@ -1,0 +1,22 @@
+"""Figure 10 - old parity migration ratio (fraction of B).
+
+Old parities moved to a new dedicated disk, normalised by B.  Only the
+via-RAID-4 conversions migrate; Code 5-6 leaves the old parities
+exactly where its horizontal parities live.
+
+Regenerates the figure's series for p in {5, 7, 11, 13} from
+block-accurate (engine-verified) conversion plans.
+"""
+
+from conftest import compute_metric_series, render_series
+
+
+def bench_fig10_migration(benchmark, show):
+    rows = benchmark(compute_metric_series, "migration_ratio")
+    assert rows, "no series produced"
+    show(render_series("Figure 10 - old parity migration ratio (fraction of B)", rows))
+    # Code 5-6's series must be minimal in every column of this figure
+    code56 = next(vals for key, vals in rows if "code56" in key)
+    for key, vals in rows:
+        for ours, theirs in zip(code56, vals):
+            assert ours <= theirs + 1e-9, (key, ours, theirs)

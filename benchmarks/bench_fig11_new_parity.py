@@ -1,0 +1,22 @@
+"""Figure 11 - new parity generation ratio (fraction of B).
+
+Freshly generated parity blocks normalised by B.  Code 5-6 generates
+only the diagonal column - 1/(p-2) of B, the paper's up-to-80%
+reduction against the double-parity generators.
+
+Regenerates the figure's series for p in {5, 7, 11, 13} from
+block-accurate (engine-verified) conversion plans.
+"""
+
+from conftest import compute_metric_series, render_series
+
+
+def bench_fig11_new_parity(benchmark, show):
+    rows = benchmark(compute_metric_series, "new_parity_ratio")
+    assert rows, "no series produced"
+    show(render_series("Figure 11 - new parity generation ratio (fraction of B)", rows))
+    # Code 5-6's series must be minimal in every column of this figure
+    code56 = next(vals for key, vals in rows if "code56" in key)
+    for key, vals in rows:
+        for ours, theirs in zip(code56, vals):
+            assert ours <= theirs + 1e-9, (key, ours, theirs)

@@ -1,0 +1,22 @@
+"""Figure 12 - extra space ratio (fraction of per-disk capacity).
+
+Capacity reserved on the existing disks before conversion.  The
+in-place vertical codes need a reserve (X-Code 2/p, P-Code 2/(p-1),
+HDP 1/(p-2)); Code 5-6 and the two-step approaches add whole disks.
+
+Regenerates the figure's series for p in {5, 7, 11, 13} from
+block-accurate (engine-verified) conversion plans.
+"""
+
+from conftest import compute_metric_series, render_series
+
+
+def bench_fig12_extra_space(benchmark, show):
+    rows = benchmark(compute_metric_series, "extra_space_ratio")
+    assert rows, "no series produced"
+    show(render_series("Figure 12 - extra space ratio (fraction of per-disk capacity)", rows))
+    # Code 5-6's series must be minimal in every column of this figure
+    code56 = next(vals for key, vals in rows if "code56" in key)
+    for key, vals in rows:
+        for ours, theirs in zip(code56, vals):
+            assert ours <= theirs + 1e-9, (key, ours, theirs)

@@ -1,0 +1,22 @@
+"""Figure 13 - computation cost (XORs, fraction of B).
+
+XOR operations of the conversion normalised to B XORs.  Zero-valued
+(NULL/virtual) chain members are skipped and the EVENODD adjuster is
+computed once, as a real controller would.
+
+Regenerates the figure's series for p in {5, 7, 11, 13} from
+block-accurate (engine-verified) conversion plans.
+"""
+
+from conftest import compute_metric_series, render_series
+
+
+def bench_fig13_computation_cost(benchmark, show):
+    rows = benchmark(compute_metric_series, "computation_cost")
+    assert rows, "no series produced"
+    show(render_series("Figure 13 - computation cost (XORs, fraction of B)", rows))
+    # Code 5-6's series must be minimal in every column of this figure
+    code56 = next(vals for key, vals in rows if "code56" in key)
+    for key, vals in rows:
+        for ours, theirs in zip(code56, vals):
+            assert ours <= theirs + 1e-9, (key, ours, theirs)

@@ -1,0 +1,22 @@
+"""Figure 15 - total I/Os (fraction of B).
+
+Reads + writes normalised to B.  Code 5-6 converts in (p-1)/(p-2) x B
+I/Os; the paper's 48.5% total-I/O reduction shows against the worst
+two-step conversions.
+
+Regenerates the figure's series for p in {5, 7, 11, 13} from
+block-accurate (engine-verified) conversion plans.
+"""
+
+from conftest import compute_metric_series, render_series
+
+
+def bench_fig15_total_ios(benchmark, show):
+    rows = benchmark(compute_metric_series, "total_ios")
+    assert rows, "no series produced"
+    show(render_series("Figure 15 - total I/Os (fraction of B)", rows))
+    # Code 5-6's series must be minimal in every column of this figure
+    code56 = next(vals for key, vals in rows if "code56" in key)
+    for key, vals in rows:
+        for ours, theirs in zip(code56, vals):
+            assert ours <= theirs + 1e-9, (key, ours, theirs)

@@ -1,0 +1,22 @@
+"""Figure 16 - conversion time without load balancing (fraction of B*Te).
+
+Makespan under the dedicated-parity layout: within each phase the
+busiest disk bounds progress; the two-step approaches add their
+phases' makespans.
+
+Regenerates the figure's series for p in {5, 7, 11, 13} from
+block-accurate (engine-verified) conversion plans.
+"""
+
+from conftest import compute_metric_series, render_series
+
+
+def bench_fig16_time_nlb(benchmark, show):
+    rows = benchmark(compute_metric_series, "time_nlb")
+    assert rows, "no series produced"
+    show(render_series("Figure 16 - conversion time without load balancing (fraction of B*Te)", rows))
+    # Code 5-6's series must be minimal in every column of this figure
+    code56 = next(vals for key, vals in rows if "code56" in key)
+    for key, vals in rows:
+        for ours, theirs in zip(code56, vals):
+            assert ours <= theirs + 1e-9, (key, ours, theirs)

@@ -1,0 +1,21 @@
+"""Figure 17 - conversion time with load balancing (fraction of B*Te).
+
+Makespan when the dedicated-parity role rotates every few
+stripe-groups, spreading the parity write stream over all spindles.
+
+Regenerates the figure's series for p in {5, 7, 11, 13} from
+block-accurate (engine-verified) conversion plans.
+"""
+
+from conftest import compute_metric_series, render_series
+
+
+def bench_fig17_time_lb(benchmark, show):
+    rows = benchmark(compute_metric_series, "time_lb")
+    assert rows, "no series produced"
+    show(render_series("Figure 17 - conversion time with load balancing (fraction of B*Te)", rows))
+    # Code 5-6's series must be minimal in every column of this figure
+    code56 = next(vals for key, vals in rows if "code56" in key)
+    for key, vals in rows:
+        for ours, theirs in zip(code56, vals):
+            assert ours <= theirs + 1e-9, (key, ours, theirs)

@@ -1,0 +1,34 @@
+"""Table IV - analytic conversion-time speedup of Code 5-6, by n.
+
+For each post-conversion width n in {5, 6, 7}, every other code converts
+under its *best* approach and its time is divided by Code 5-6's (same
+n, virtual disks/shortening where needed).  Printed for both the NLB and
+LB timing models; the paper's only fully legible cell (X-Code, n=5,
+NLB = 1.27) is asserted as a band.
+"""
+
+from repro.analysis import speedup_table
+
+
+def _both():
+    return {
+        "NLB": speedup_table(n_values=(5, 6, 7), load_balanced=False),
+        "LB": speedup_table(n_values=(5, 6, 7), load_balanced=True),
+    }
+
+
+def bench_table04_speedup_analysis(benchmark, show):
+    tables = benchmark(_both)
+    lines = ["Table IV - speedup of Code 5-6 over each code's best approach"]
+    for mode, cells in tables.items():
+        lines.append(f"-- {mode} --")
+        lines.append(f"{'n':>3} {'code':>8} {'best approach':>14} {'p':>3} {'speedup':>8}")
+        for c in cells:
+            lines.append(
+                f"{c.n:>3} {c.code:>8} {c.best_approach:>14} {c.p:>3} {c.speedup:>8.2f}"
+            )
+    show("\n".join(lines))
+    nlb = {(c.n, c.code): c.speedup for c in tables["NLB"]}
+    lb = {(c.n, c.code): c.speedup for c in tables["LB"]}
+    assert abs(nlb[(5, "xcode")] - 1.27) < 0.12  # the paper's legible cell
+    assert all(s >= 1.0 - 1e-9 for s in lb.values())  # Code 5-6 never loses w/ LB

@@ -1,0 +1,48 @@
+"""Table V - simulated conversion-time speedup (p = 5 and p = 7, LB).
+
+Table IV's comparison repeated with the disk-model simulation instead of
+the B*Te analysis: each code's best approach at its canonical width,
+traces tiled to the paper's 0.6M blocks, 4KB block size, load balancing.
+The paper reports larger speedups here than in the analysis (seek and
+rotation penalise the scattered I/O of the other conversions), growing
+from p=5 to p=7.
+"""
+
+from conftest import paper_configurations
+
+from repro.simdisk import get_preset, simulate_closed
+from repro.workloads import conversion_trace
+
+MODEL = get_preset("sata-7200")
+TOTAL_BLOCKS = 600_000
+
+
+def _speedups(p: int):
+    times: dict[str, float] = {}
+    for m, plan in paper_configurations(p):
+        trace = conversion_trace(
+            plan, total_data_blocks=TOTAL_BLOCKS, block_size=4096, lb_rotation_period=16
+        )
+        t = simulate_closed(trace, MODEL).makespan_s
+        times[m.code] = min(times.get(m.code, float("inf")), t)
+    base = times.pop("code56")
+    return {code: t / base for code, t in times.items()}
+
+
+def bench_table05_speedup_sim(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: {p: _speedups(p) for p in (5, 7)}, rounds=1, iterations=1
+    )
+    codes = sorted({c for v in result.values() for c in v})
+    lines = [
+        "Table V - simulated speedup of Code 5-6 (best approach per code, LB, 4KB)",
+        f"{'p':>4} " + " ".join(f"{c:>9}" for c in codes),
+    ]
+    for p, speeds in result.items():
+        lines.append(
+            f"{p:>4} " + " ".join(f"{speeds.get(c, float('nan')):>9.2f}" for c in codes)
+        )
+    show("\n".join(lines))
+    assert all(s > 1.0 for speeds in result.values() for s in speeds.values())
+    # Section V-C: larger p -> higher speedup (vs RDP, the common baseline)
+    assert result[7]["rdp"] >= result[5]["rdp"] * 0.95

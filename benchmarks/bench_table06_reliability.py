@@ -1,0 +1,50 @@
+"""Table VI - reliability of the conversion approaches.
+
+The paper's qualitative classes (Low / Medium / High), backed here by a
+quantified data-loss probability for the conversion window: each
+approach's simulated window length (B = 0.6M, 4KB) is fed into the
+transient Markov model at the year-3 AFR peak.
+"""
+
+from conftest import paper_configurations
+
+from repro.analysis import AFR_BY_AGE, conversion_window_risk
+from repro.simdisk import get_preset, simulate_closed
+from repro.workloads import conversion_trace
+
+MODEL = get_preset("sata-7200")
+TOTAL_BLOCKS = 600_000
+AFR = AFR_BY_AGE[3]
+
+
+def _risks(p: int = 5):
+    rows = []
+    for m, plan in paper_configurations(p):
+        trace = conversion_trace(plan, total_data_blocks=TOTAL_BLOCKS, block_size=4096)
+        hours = simulate_closed(trace, MODEL).makespan_ms / 3.6e6
+        risk = conversion_window_risk(m.approach, m.code, plan.n, hours, AFR)
+        rows.append((f"{m.approach}({m.code})", risk))
+    return rows
+
+
+def bench_table06_reliability(benchmark, show):
+    rows = benchmark.pedantic(_risks, rounds=1, iterations=1)
+    lines = [
+        f"Table VI - conversion-window reliability (year-3 AFR {AFR:.1%}, B=0.6M)",
+        f"{'conversion':>36} {'class':>7} {'tol':>4} {'window':>8} {'P(loss)':>10}",
+    ]
+    for label, r in sorted(rows, key=lambda x: -x[1].loss_probability):
+        lines.append(
+            f"{label:>36} {r.reliability_class:>7} {r.tolerance_during_window:>4} "
+            f"{r.window_hours:>7.2f}h {r.loss_probability:>10.2e}"
+        )
+    show("\n".join(lines))
+    by = dict(rows)
+    # the paper's ordering: RAID-0 window Low, RAID-4 Medium, direct High
+    assert by["via-raid0(rdp)"].reliability_class == "Low"
+    assert by["via-raid4(rdp)"].reliability_class == "Medium"
+    assert by["direct(code56)"].reliability_class == "High"
+    assert (
+        by["via-raid0(rdp)"].loss_probability
+        > 10 * by["direct(code56)"].loss_probability
+    )

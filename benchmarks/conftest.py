@@ -1,0 +1,70 @@
+"""Shared machinery for the per-figure/table benchmarks.
+
+Each ``bench_*`` module regenerates one table or figure of the paper's
+Section V: the benchmarked callable produces the figure's data series,
+and the rows are printed in the paper's layout so the output can be read
+against the publication (EXPERIMENTS.md records the comparison).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import metrics_from_plan
+from repro.analysis.costmodel import comparison_width
+from repro.migration import build_plan, supported_conversions
+from repro.migration.approaches import alignment_cycle
+
+#: the primes the paper's bar charts sweep ("with increasing number of disks")
+FIGURE_PRIMES = (5, 7, 11, 13)
+
+
+def paper_configurations(p: int):
+    """Every (code, approach) series of Figs 9-17 at prime ``p``.
+
+    Returns ``[(metrics, plan)]`` with plans built over one alignment
+    cycle (exact per-B ratios).
+    """
+    out = []
+    for code, approach in supported_conversions():
+        if code == "code56-right":
+            continue  # mirror of code56; identical costs, not a paper series
+        n = comparison_width(code, p)
+        plan = build_plan(
+            code, approach, p, groups=alignment_cycle(code, p, n), n_disks=n
+        )
+        out.append((metrics_from_plan(plan), plan))
+    return out
+
+
+def compute_metric_series(metric: str) -> list:
+    """One ratio figure's data across FIGURE_PRIMES: [(label, values)]."""
+    series: dict[str, list[float]] = {}
+    for p in FIGURE_PRIMES:
+        for m, _plan in paper_configurations(p):
+            key = f"{m.approach}({m.code})"
+            series.setdefault(key, [float("nan")] * len(FIGURE_PRIMES))
+            series[key][FIGURE_PRIMES.index(p)] = getattr(m, metric)
+    return sorted(series.items())
+
+
+def render_series(title: str, rows: list, fmt: str = "{:8.3f}") -> str:
+    lines = [
+        title,
+        f"{'conversion':>44} " + " ".join(f"p={p:>2}    " for p in FIGURE_PRIMES),
+    ]
+    for key, vals in rows:
+        lines.append(f"{key:>44} " + " ".join(fmt.format(v) for v in vals))
+    return "\n".join(lines)
+
+
+@pytest.fixture
+def show(capsys):
+    """Print once through pytest's capture (so -s is not required)."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _show

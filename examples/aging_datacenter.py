@@ -1,0 +1,74 @@
+"""When should an aging RAID-5 fleet migrate to RAID-6?
+
+The paper's motivation (Section I, Table I): disk failure rates climb
+steeply after the first year, and RAID-5's single-failure tolerance
+stops being enough.  This example quantifies that story with the
+embedded Table I statistics and the library's Markov MTTDL models, then
+prices the migration itself — including the reliability of the array
+*during* each conversion approach's window (Table VI).
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    AFR_BY_AGE,
+    afr_to_lambda,
+    conversion_window_risk,
+    mttdl_raid5,
+    mttdl_raid6,
+)
+from repro.analysis.timing import conversion_time
+from repro.migration import build_plan
+from repro.migration.approaches import alignment_cycle
+from repro.simdisk import get_preset, simulate_closed
+from repro.workloads import conversion_trace
+
+HOURS_PER_YEAR = 8766.0
+
+
+def main() -> None:
+    n = 7  # a 6-disk RAID-5 fleet converting to 7-disk RAID-6 (p = 7)
+    repair_hours = 24.0
+    mu = 1.0 / repair_hours
+
+    print("MTTDL by drive age (Table I AFRs), 6-disk RAID-5 vs 7-disk RAID-6")
+    print(f"{'age':>4} {'AFR':>6} {'RAID-5 MTTDL':>14} {'RAID-6 MTTDL':>14} {'gain':>8}")
+    for age, afr in AFR_BY_AGE.items():
+        lam = afr_to_lambda(afr)
+        r5 = mttdl_raid5(6, lam, mu) / HOURS_PER_YEAR
+        r6 = mttdl_raid6(7, lam, mu) / HOURS_PER_YEAR
+        print(f"{age:>4} {afr:>6.1%} {r5:>12.0f}yr {r6:>12.0f}yr {r6 / r5:>7.0f}x")
+
+    # price the migration at year 3 (the AFR peak)
+    afr = AFR_BY_AGE[3]
+    model = get_preset("sata-7200")
+    b = 600_000  # 0.6M blocks, the paper's Figure 19 scale
+    print(f"\nmigration window at year 3 (AFR {afr:.1%}), B = {b} blocks of 4KB:")
+    print(f"{'approach':>32} {'window':>9} {'tolerance':>10} {'P(loss in window)':>18}")
+    for code, approach in [
+        ("code56", "direct"),
+        ("rdp", "via-raid4"),
+        ("rdp", "via-raid0"),
+    ]:
+        p = 7
+        plan = build_plan(code, approach, p, groups=alignment_cycle(code, p))
+        trace = conversion_trace(plan, total_data_blocks=b, block_size=4096)
+        sim = simulate_closed(trace, model)
+        hours = sim.makespan_ms / 3.6e6
+        risk = conversion_window_risk(approach, code, plan.n, hours, afr, repair_hours)
+        label = f"{approach}({code})"
+        print(f"{label:>32} {hours:>8.2f}h {risk.tolerance_during_window:>10} "
+              f"{risk.loss_probability:>18.2e}  [{risk.reliability_class}]")
+
+    # analytic view: time in units of B*Te for the same three options
+    print("\nanalytic conversion time (fraction of B*Te, no load balancing):")
+    for code, approach in [("code56", "direct"), ("rdp", "via-raid4"), ("rdp", "via-raid0")]:
+        plan = build_plan(code, approach, 7, groups=alignment_cycle(code, 7))
+        print(f"  {approach:>10}({code}): {conversion_time(plan):.3f}")
+
+    print("\nconclusion: convert direct with Code 5-6 — the shortest window,"
+          "\nfull single-failure tolerance throughout, and no parity at risk.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Side-by-side comparison of all seven codes (Table III, Figs 9-16).
+
+For every (code, approach) pairing the paper evaluates, build the
+block-accurate conversion plan over one alignment cycle, extract the
+Section V metrics, and print the comparison matrix.  Also prints the
+code-property columns of Table III (update penalty, storage efficiency,
+encode XORs) measured from the actual layouts.
+"""
+
+from repro.analysis import metrics_from_plan
+from repro.analysis.costmodel import comparison_width
+from repro.codes import CODE_NAMES, certify_mds, get_code
+from repro.migration import build_plan, supported_conversions
+from repro.migration.approaches import alignment_cycle
+
+
+def code_properties(p: int = 5) -> None:
+    print(f"code properties at p={p} (Table III's static columns)")
+    header = f"{'code':>8} {'disks':>6} {'data':>5} {'eff':>6} {'MDS':>4} {'upd-penalty':>12} {'enc XOR/blk':>12}"
+    print(header)
+    for name in CODE_NAMES:
+        code = get_code(name, p)
+        rep = certify_mds(code.layout)
+        pens = [code.layout.update_penalty(c) for c in code.layout.data_cells]
+        avg_pen = sum(pens) / len(pens)
+        enc = code.layout.xor_count_total() / code.num_data
+        print(
+            f"{name:>8} {code.n_disks:>6} {code.num_data:>5} "
+            f"{code.storage_efficiency():>6.2f} {'yes' if rep.is_mds else 'NO':>4} "
+            f"{avg_pen:>12.2f} {enc:>12.2f}"
+        )
+    print()
+
+
+def conversion_matrix(p: int = 5) -> None:
+    print(f"conversion metrics at p={p} (fractions of B; Figs 9-16)")
+    header = (
+        f"{'conversion':>42} {'invalid':>8} {'migr':>6} {'newpar':>7} "
+        f"{'extra':>6} {'XOR':>6} {'write':>6} {'total':>6} {'T-nlb':>6} {'T-lb':>6}"
+    )
+    print(header)
+    rows = []
+    for code, approach in supported_conversions():
+        try:
+            n = comparison_width(code, p)
+            plan = build_plan(code, approach, p, groups=alignment_cycle(code, p, n), n_disks=n)
+        except ValueError:
+            continue
+        m = metrics_from_plan(plan)
+        rows.append(m)
+    rows.sort(key=lambda m: m.total_ios)
+    for m in rows:
+        print(
+            f"{m.label:>42} {m.invalid_parity_ratio:>8.3f} {m.migration_ratio:>6.3f} "
+            f"{m.new_parity_ratio:>7.3f} {m.extra_space_ratio:>6.3f} "
+            f"{m.computation_cost:>6.3f} {m.write_ios:>6.3f} {m.total_ios:>6.3f} "
+            f"{m.time_nlb:>6.3f} {m.time_lb:>6.3f}"
+        )
+    best = rows[0]
+    print(f"\nwinner on total I/O and conversion cost: {best.label}")
+    print()
+
+
+def main() -> None:
+    for p in (5, 7):
+        code_properties(p)
+        conversion_matrix(p)
+
+
+if __name__ == "__main__":
+    main()

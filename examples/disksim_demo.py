@@ -1,0 +1,72 @@
+"""Disk-simulator demo: schedulers, disk tiers, and a live migration trace.
+
+Shows the DiskSim-substitute on its own terms:
+
+1. a random application workload under FCFS vs SSTF vs LOOK scheduling;
+2. the same migration trace on three disk tiers (7200/10k/15k RPM);
+3. why conversion traffic is cheap: sequentiality (per-request service
+   time vs a random workload of the same size).
+"""
+
+import numpy as np
+
+from repro.migration import build_plan
+from repro.migration.approaches import alignment_cycle
+from repro.simdisk import DiskArraySimulator, PRESETS, simulate_closed
+from repro.workloads import conversion_trace, uniform_trace
+
+
+def schedulers_demo() -> None:
+    rng = np.random.default_rng(1)
+    trace = uniform_trace(
+        rng, n_requests=2000, n_disks=5, blocks_per_disk=200_000,
+        read_fraction=0.7, interarrival_ms=0.5,
+    )
+    model = PRESETS["sata-7200"]
+    print("random workload (2000 reqs, 5 disks) under different schedulers:")
+    for sched in ("fcfs", "sstf", "look"):
+        res = DiskArraySimulator(model, 5, scheduler=sched).run(trace)
+        print(f"  {sched:>4}: makespan {res.makespan_s:7.2f}s  "
+              f"mean latency {res.mean_latency_ms:8.1f}ms  "
+              f"p99 {res.p99_latency_ms:9.1f}ms")
+    print()
+
+
+def tiers_demo() -> None:
+    plan = build_plan("code56", "direct", 5, groups=alignment_cycle("code56", 5))
+    trace = conversion_trace(plan, total_data_blocks=120_000, block_size=4096)
+    print(f"{trace.describe()}")
+    print("the same Code 5-6 migration on three disk tiers:")
+    for name, model in PRESETS.items():
+        res = simulate_closed(trace, model)
+        print(f"  {name:>10}: makespan {res.makespan_s:7.2f}s")
+    print()
+
+
+def sequentiality_demo() -> None:
+    model = PRESETS["sata-7200"]
+    plan = build_plan("code56", "direct", 5, groups=alignment_cycle("code56", 5))
+    conv = conversion_trace(plan, total_data_blocks=120_000, block_size=4096)
+    conv_res = simulate_closed(conv, model)
+    rng = np.random.default_rng(2)
+    rand = uniform_trace(
+        rng, n_requests=len(conv), n_disks=conv.n_disks,
+        blocks_per_disk=int(conv.block.max()) + 1, interarrival_ms=0.0,
+    )
+    rand_res = simulate_closed(rand, model)
+    print("sequentiality is the whole ballgame:")
+    print(f"  migration trace ({len(conv)} reqs, mostly streaming): "
+          f"{conv_res.makespan_s:8.2f}s")
+    print(f"  random trace of equal size:                           "
+          f"{rand_res.makespan_s:8.2f}s "
+          f"({rand_res.makespan_s / conv_res.makespan_s:.0f}x slower)")
+
+
+def main() -> None:
+    schedulers_demo()
+    tiers_demo()
+    sequentiality_demo()
+
+
+if __name__ == "__main__":
+    main()

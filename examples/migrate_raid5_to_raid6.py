@@ -1,0 +1,82 @@
+"""Online migration (Algorithm 2): convert while serving application I/O.
+
+Builds a live 6-disk left-asymmetric RAID-5, hot-adds a seventh disk,
+then runs the paper's two-thread conversion: the conversion thread
+streams the diagonal-parity column while application reads proceed
+unimpeded and writes interrupt it (updating the horizontal parity
+always, the diagonal parity only once generated).  Afterwards the array
+is a verified Code 5-6 RAID-6 — and we demote it back to RAID-5 to show
+the bidirectional path.
+"""
+
+import numpy as np
+
+from repro.core import Code56Migrator
+from repro.migration import OnlineRequest
+from repro.raid import BlockArray, Raid5Array, Raid5Layout
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    p = 7
+    m = p - 1
+    groups = 40
+    block_size = 512
+
+    array = BlockArray(m, groups * (p - 1), block_size=block_size)
+    raid5 = Raid5Array(array, Raid5Layout.LEFT_ASYMMETRIC)
+    truth = rng.integers(0, 256, size=(raid5.capacity_blocks, block_size), dtype=np.uint8)
+    raid5.format_with(truth)
+    print(f"source: RAID-5, {m} disks, {raid5.capacity_blocks} data blocks")
+
+    # a synthetic online workload: 30% writes, Poisson-ish arrivals
+    requests = []
+    t = 0.0
+    for _ in range(200):
+        t += float(rng.exponential(8.0))
+        lba = int(rng.integers(0, raid5.capacity_blocks))
+        if rng.random() < 0.3:
+            payload = rng.integers(0, 256, size=block_size, dtype=np.uint8)
+            truth[lba] = payload
+            requests.append(OnlineRequest(time=t, lba=lba, is_write=True, payload=payload))
+        else:
+            requests.append(OnlineRequest(time=t, lba=lba, is_write=False))
+
+    migrator = Code56Migrator(array, p)
+    migrator.check_source()  # Step 1
+    migrator.add_parity_disk()  # Step 2
+    report = migrator.convert_online(requests)  # Step 3
+
+    print(f"conversion finished at tick {report.finish_tick:.0f}")
+    print(f"  conversion I/O ticks : {report.conversion_ticks}")
+    print(f"  application I/O ticks: {report.app_ticks}")
+    print(f"  writes interrupting  : {report.interruptions} "
+          f"({report.writes_to_converted} patched a generated diagonal parity, "
+          f"{report.writes_to_unconverted} landed ahead of the conversion front)")
+    lat = np.array(report.request_latencies)
+    print(f"  request latency (Te) : mean {lat.mean():.1f}, max {lat.max():.0f}")
+
+    raid6 = migrator.as_raid6()
+    assert raid6.verify()
+    for lba in range(raid6.capacity_blocks):
+        assert np.array_equal(raid6.read(lba), truth[lba])
+    print("converted array verified: Code 5-6 RAID-6, all data intact ✓")
+
+    # survive a double failure to prove the upgrade bought something
+    array.fail_disk(0)
+    array.fail_disk(4)
+    sample = rng.integers(0, raid6.capacity_blocks, size=20)
+    for lba in sample:
+        assert np.array_equal(raid6.read(int(lba)), truth[int(lba)])
+    print("double-disk failure: degraded reads all correct ✓")
+    raid6.rebuild_disks(0, 4)
+    assert raid6.verify()
+
+    # ...and back again (Section IV-A: bidirectional)
+    raid5_again = migrator.revert()
+    assert raid5_again.verify()
+    print("downgraded back to RAID-5 (dropped the diagonal column) ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Silent corruption: what the RAID-6 upgrade buys beyond disk failures.
+
+The paper motivates migration with rising failure *and* sector-error
+rates (UDEs/LSEs).  This example injects silent bit flips into a RAID-5
+and into the Code 5-6 RAID-6 it converts to, then scrubs both:
+
+* the RAID-5 only learns *that* a stripe is inconsistent;
+* the RAID-6's two chains per block pinpoint the corrupt block and heal
+  it in place.
+"""
+
+import numpy as np
+
+from repro.codes import get_code
+from repro.raid import (
+    BlockArray,
+    Raid5Array,
+    Raid6Array,
+    scrub_raid5,
+    scrub_raid6,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(13)
+    p, groups, bs = 7, 30, 512
+
+    # ---------------------------------------------------------- RAID-5 side
+    arr5 = BlockArray(p - 1, groups * (p - 1), block_size=bs)
+    r5 = Raid5Array(arr5)
+    r5.format_with(
+        rng.integers(0, 256, size=(r5.capacity_blocks, bs), dtype=np.uint8)
+    )
+    # a latent sector error flips bits nobody reads
+    victim_stripe = 17
+    arr5.raw(2, victim_stripe)[100] ^= 0x20
+    report5 = scrub_raid5(r5)
+    print("RAID-5 scrub:")
+    print(f"  inconsistent stripes: {report5.inconsistent_stripes}")
+    print("  ...but which of the 6 blocks rotted?  RAID-5 cannot say —")
+    print("  and if a disk dies before an operator intervenes, that")
+    print("  stripe reconstructs garbage.\n")
+
+    # ---------------------------------------------------------- RAID-6 side
+    code = get_code("code56", p)
+    arr6 = BlockArray(p, groups * (p - 1), block_size=bs)
+    r6 = Raid6Array(arr6, code)
+    data = rng.integers(0, 256, size=(r6.capacity_blocks, bs), dtype=np.uint8)
+    r6.format_with(data)
+    # flip bits in three different stripe-groups (data and parity blocks)
+    victims = [(3, code.layout.data_cells[5]), (11, code.layout.data_cells[20]),
+               (19, next(iter(code.layout.parity_cells)))]
+    for g, cell in victims:
+        disk = r6.disk_of(g, cell[1])
+        arr6.raw(disk, r6.block_of(g, cell[0]))[7] ^= 0x80
+    report6 = scrub_raid6(r6)
+    print("Code 5-6 RAID-6 scrub:")
+    print(f"  inconsistent groups: {report6.inconsistent_groups}")
+    for g, cell in report6.located:
+        print(f"  located corrupt block: group {g}, cell {cell} -> repaired")
+    assert sorted(report6.repaired) == sorted(victims)
+    assert r6.verify()
+    for lba in range(r6.capacity_blocks):
+        assert np.array_equal(r6.read(lba), data[lba])
+    print("  array verified clean; every logical block intact ✓\n")
+
+    print("Same aging disks, same workload — but the second parity chain")
+    print("turns 'detected, data at risk' into 'located and healed'.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim: environments without the `wheel` package need the legacy
+`setup.py develop` editable-install path; all metadata lives in
+pyproject.toml."""
+from setuptools import setup
+
+setup()

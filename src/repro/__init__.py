@@ -1,0 +1,103 @@
+"""repro — Code 5-6: MDS array coding for fast online RAID level migration.
+
+A full reproduction of *"Code 5-6: An Efficient MDS Array Coding Scheme
+to Accelerate Online RAID Level Migration"* (Wu, He, Li, Guo — ICPP
+2015): the Code 5-6 erasure code, the six comparison codes (EVENODD,
+RDP, H-Code, X-Code, P-Code, HDP), RAID-0/4/5/6 array substrates, the
+three conversion approaches with a verified block-level engine, an
+online (Algorithm 2) converter, a trace-driven disk simulator, and the
+complete Section V analysis.
+
+Quickstart::
+
+    import repro
+
+    code = repro.get_code("code56", p=5)          # the paper's code
+    outcome = repro.upgrade_to_raid6(m=4)         # RAID-5 -> RAID-6
+    print(outcome.summary)
+"""
+
+from repro.analysis import (
+    ConversionMetrics,
+    closed_form,
+    code56_efficiency,
+    conversion_time,
+    metrics_from_plan,
+    mttdl_raid5,
+    mttdl_raid6,
+    speedup_table,
+)
+from repro.codes import (
+    ArrayCode,
+    CodeLayout,
+    ReedSolomonRaid6,
+    certify_mds,
+    get_code,
+    get_layout,
+)
+from repro.core import (
+    Code56Migrator,
+    downgrade_to_raid5,
+    plan_double_column_recovery,
+    plan_hybrid_recovery,
+    upgrade_to_raid6,
+    virtual_disk_plan,
+)
+from repro.migration import (
+    OnlineRequest,
+    build_plan,
+    execute_plan,
+    prepare_source_array,
+    verify_conversion,
+)
+from repro.raid import BlockArray, Raid5Array, Raid5Layout, Raid6Array
+from repro.simdisk import DiskArraySimulator, DiskModel, get_preset, simulate_closed
+from repro.workloads import Trace, conversion_trace, uniform_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # codes
+    "ArrayCode",
+    "CodeLayout",
+    "ReedSolomonRaid6",
+    "certify_mds",
+    "get_code",
+    "get_layout",
+    # core (the paper's contribution)
+    "Code56Migrator",
+    "downgrade_to_raid5",
+    "plan_double_column_recovery",
+    "plan_hybrid_recovery",
+    "upgrade_to_raid6",
+    "virtual_disk_plan",
+    # migration machinery
+    "OnlineRequest",
+    "build_plan",
+    "execute_plan",
+    "prepare_source_array",
+    "verify_conversion",
+    # raid substrate
+    "BlockArray",
+    "Raid5Array",
+    "Raid5Layout",
+    "Raid6Array",
+    # analysis
+    "ConversionMetrics",
+    "closed_form",
+    "code56_efficiency",
+    "conversion_time",
+    "metrics_from_plan",
+    "mttdl_raid5",
+    "mttdl_raid6",
+    "speedup_table",
+    # simulation
+    "DiskArraySimulator",
+    "DiskModel",
+    "get_preset",
+    "simulate_closed",
+    "Trace",
+    "conversion_trace",
+    "uniform_trace",
+]

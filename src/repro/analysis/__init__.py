@@ -1,0 +1,55 @@
+"""Quantitative analysis: conversion metrics, cost models, timing,
+storage efficiency, reliability, and speedup tables."""
+
+from repro.analysis.costmodel import CostModel, closed_form
+from repro.analysis.efficiency import (
+    EfficiencyPoint,
+    code56_efficiency,
+    efficiency_sweep,
+    mds_raid6_efficiency,
+)
+from repro.analysis.metrics import ConversionMetrics, metrics_from_plan
+from repro.analysis.reliability import (
+    AFR_BY_AGE,
+    ARR_BY_AGE,
+    ConversionWindowRisk,
+    afr_to_lambda,
+    conversion_window_risk,
+    mttdl_raid,
+    mttdl_raid5,
+    mttdl_raid6,
+)
+from repro.analysis.speedup import SpeedupCell, best_time_for_code, speedup_table
+from repro.analysis.timing import conversion_time, phase_makespans
+
+__all__ = [
+    "CostModel",
+    "closed_form",
+    "ConversionMetrics",
+    "metrics_from_plan",
+    "conversion_time",
+    "phase_makespans",
+    "EfficiencyPoint",
+    "code56_efficiency",
+    "efficiency_sweep",
+    "mds_raid6_efficiency",
+    "AFR_BY_AGE",
+    "ARR_BY_AGE",
+    "ConversionWindowRisk",
+    "afr_to_lambda",
+    "conversion_window_risk",
+    "mttdl_raid",
+    "mttdl_raid5",
+    "mttdl_raid6",
+    "SpeedupCell",
+    "best_time_for_code",
+    "speedup_table",
+]
+
+from repro.analysis.writes import PartialWriteCost, average_partial_write_cost, partial_write_cost
+
+__all__ += ["PartialWriteCost", "average_partial_write_cost", "partial_write_cost"]
+
+from repro.analysis.degraded import DegradedReadProfile, degraded_read_profile, degraded_read_table
+
+__all__ += ["DegradedReadProfile", "degraded_read_profile", "degraded_read_table"]

@@ -1,0 +1,83 @@
+"""Degraded-read cost model: serving reads with a failed disk.
+
+After a disk fails and before its rebuild completes, reads of its blocks
+reconstruct through a parity chain.  The cost per such read is the
+cheapest single chain covering the block — another axis where layouts
+differ (and another consequence of the conversion choice, since the
+converted array lives with this profile for years).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codes.geometry import Cell, CodeLayout
+
+__all__ = ["DegradedReadProfile", "degraded_read_profile", "degraded_read_table"]
+
+
+@dataclass(frozen=True)
+class DegradedReadProfile:
+    """Per-column degraded-read costs for one layout."""
+
+    layout_name: str
+    column: int
+    #: reads needed to serve each lost data cell (cheapest chain)
+    per_cell_reads: dict[Cell, int]
+    #: fraction of the stripe's data living on this column
+    data_fraction: float
+
+    @property
+    def avg_reads_per_degraded_read(self) -> float:
+        if not self.per_cell_reads:
+            return 0.0
+        return sum(self.per_cell_reads.values()) / len(self.per_cell_reads)
+
+    @property
+    def expected_read_cost(self) -> float:
+        """Expected physical reads per logical read under this failure."""
+        avg = self.avg_reads_per_degraded_read
+        return self.data_fraction * avg + (1 - self.data_fraction) * 1.0
+
+
+def _cheapest_chain_reads(layout: CodeLayout, cell: Cell, lost: set[Cell]) -> int | None:
+    best: int | None = None
+    virtual = layout.virtual_cells
+    for chain in layout.chains:
+        terms = [t for t in (chain.parity, *chain.members) if t not in virtual]
+        hit = [t for t in terms if t in lost]
+        if hit != [cell]:
+            continue
+        cost = len(terms) - 1
+        if best is None or cost < best:
+            best = cost
+    return best
+
+
+def degraded_read_profile(layout: CodeLayout, column: int) -> DegradedReadProfile:
+    """Cost profile for reads while ``column`` is failed (pre-rebuild)."""
+    if column not in layout.physical_cols:
+        raise ValueError(f"column {column} is not physical in {layout.name}")
+    lost = {
+        (r, column)
+        for r in range(layout.rows)
+        if (r, column) not in layout.virtual_cells
+    }
+    data_lost = [c for c in lost if c in set(layout.data_cells)]
+    per_cell: dict[Cell, int] = {}
+    for cell in data_lost:
+        cost = _cheapest_chain_reads(layout, cell, lost)
+        if cost is None:
+            raise ValueError(f"{layout.name}: cell {cell} unrecoverable alone")
+        per_cell[cell] = cost
+    return DegradedReadProfile(
+        layout_name=layout.name,
+        column=column,
+        per_cell_reads=per_cell,
+        data_fraction=len(data_lost) / max(layout.num_data, 1),
+    )
+
+
+def degraded_read_table(layout: CodeLayout) -> list[DegradedReadProfile]:
+    """One profile per physical column (averaging basis for comparisons)."""
+    return [degraded_read_profile(layout, c) for c in layout.physical_cols]

@@ -1,0 +1,79 @@
+"""Storage efficiency with virtual disks (Section IV-B2, Eq. 6, Fig. 18).
+
+Converting a RAID-5 of ``m`` disks with Code 5-6 requires ``p`` prime;
+when ``m + 1`` is not prime, ``v = p - m - 1`` virtual disks are added
+and some stripe rows carry no data.  Eq. 6 of the paper gives the
+resulting efficiency
+
+    eff = m(m-1) / (m(m+1) + v)
+
+relative to an ideal ``n``-disk MDS RAID-6's ``(n-2)/n``.  We implement
+the paper's formula verbatim (it treats the NULL cells that share rows
+with virtual parities as reclaimable) and also report the stricter
+*physical* efficiency where those cells are counted as lost — useful for
+implementations without block remapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codes.registry import get_layout
+from repro.util.primes import prime_for_disks
+
+__all__ = [
+    "EfficiencyPoint",
+    "code56_efficiency",
+    "mds_raid6_efficiency",
+    "efficiency_sweep",
+]
+
+
+@dataclass(frozen=True)
+class EfficiencyPoint:
+    """Storage efficiency of Code 5-6 hosting a converted m-disk RAID-5."""
+
+    m: int  # source RAID-5 disks
+    n: int  # converted RAID-6 disks (m + 1)
+    p: int  # prime parameter
+    v: int  # virtual disks
+    paper_efficiency: float  # Eq. 6
+    physical_efficiency: float  # data cells / physical cells (stricter)
+    mds_efficiency: float  # ideal (n-2)/n for the same n
+    penalty: float  # 1 - paper/mds (Fig. 18's gap, <= 3.8% per the paper)
+
+
+def mds_raid6_efficiency(n: int) -> float:
+    """Ideal MDS RAID-6 efficiency on ``n`` disks."""
+    if n < 3:
+        raise ValueError("RAID-6 needs >= 3 disks")
+    return (n - 2) / n
+
+
+def code56_efficiency(m: int) -> EfficiencyPoint:
+    """Eq. 6 evaluated for a RAID-5 of ``m`` disks, plus the layout truth."""
+    if m < 3:
+        raise ValueError("need >= 3 source disks")
+    p = prime_for_disks(m)
+    v = p - m - 1
+    n = m + 1
+    paper = m * (m - 1) / (m * (m + 1) + v)
+    layout = get_layout("code56", p, virtual_cols=tuple(range(v)))
+    physical_cells = layout.rows * layout.n_disks
+    physical = layout.num_data / physical_cells
+    mds = mds_raid6_efficiency(n)
+    return EfficiencyPoint(
+        m=m,
+        n=n,
+        p=p,
+        v=v,
+        paper_efficiency=paper,
+        physical_efficiency=physical,
+        mds_efficiency=mds,
+        penalty=1 - paper / mds,
+    )
+
+
+def efficiency_sweep(m_values: range | list[int]) -> list[EfficiencyPoint]:
+    """Fig. 18's sweep over source array widths."""
+    return [code56_efficiency(m) for m in m_values]

@@ -1,0 +1,85 @@
+"""Conversion metrics (Section V-A's eight evaluation metrics).
+
+All ratios are normalised the way the paper normalises its figures:
+
+* parity-operation ratios against ``B`` (total data blocks) — Figs 9-11;
+* extra space against total per-disk capacity — Fig 12;
+* XORs against ``B`` XOR operations — Fig 13;
+* write / total I/Os against ``B`` I/O operations — Figs 14-15;
+* conversion time against ``B * Te`` — Figs 16-17.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.timing import conversion_time
+from repro.migration.plan import ConversionPlan
+
+__all__ = ["ConversionMetrics", "metrics_from_plan"]
+
+
+@dataclass(frozen=True)
+class ConversionMetrics:
+    """The paper's metric vector for one (code, approach, m, n) conversion."""
+
+    code: str
+    approach: str
+    p: int
+    m: int
+    n: int
+    data_blocks: int
+    invalid_parity_ratio: float  # Fig 9
+    migration_ratio: float  # Fig 10
+    new_parity_ratio: float  # Fig 11
+    extra_space_ratio: float  # Fig 12
+    computation_cost: float  # Fig 13: XORs / B
+    write_ios: float  # Fig 14: writes / B
+    total_ios: float  # Fig 15: (reads+writes) / B
+    time_nlb: float  # Fig 16: makespan / (B * Te)
+    time_lb: float  # Fig 17
+
+    @property
+    def label(self) -> str:
+        """The paper's series label, e.g. ``RAID-5->RAID-6(Code 5-6,4,5)``."""
+        pretty = {
+            "code56": "Code 5-6",
+            "code56-right": "Code 5-6 (right)",
+            "rdp": "RDP",
+            "evenodd": "EVENODD",
+            "hcode": "H-Code",
+            "xcode": "X-Code",
+            "pcode": "P-Code",
+            "hdp": "HDP",
+        }[self.code]
+        arrow = {
+            "direct": "RAID-5->RAID-6",
+            "via-raid0": "RAID-5->RAID-0->RAID-6",
+            "via-raid4": "RAID-5->RAID-4->RAID-6",
+        }[self.approach]
+        return f"{arrow}({pretty},{self.m},{self.n})"
+
+
+def metrics_from_plan(plan: ConversionPlan) -> ConversionMetrics:
+    """Derive every Section V metric from a block-accurate plan."""
+    b = plan.data_blocks
+    total_capacity = plan.blocks_per_disk
+    return ConversionMetrics(
+        code=plan.code.name,
+        approach=plan.approach,
+        p=plan.p,
+        m=plan.m,
+        n=plan.n,
+        data_blocks=b,
+        invalid_parity_ratio=plan.invalid_parities / b,
+        migration_ratio=plan.migrated_parities / b,
+        new_parity_ratio=plan.new_parities / b,
+        extra_space_ratio=(
+            plan.extra_blocks_per_disk / total_capacity if total_capacity else 0.0
+        ),
+        computation_cost=plan.xors / b,
+        write_ios=plan.write_ios / b,
+        total_ios=plan.total_ios / b,
+        time_nlb=conversion_time(plan, load_balanced=False),
+        time_lb=conversion_time(plan, load_balanced=True),
+    )

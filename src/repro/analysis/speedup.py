@@ -1,0 +1,101 @@
+"""Speedup matrices (Tables IV and V).
+
+Table IV compares, at equal post-conversion width ``n``, the conversion
+time of every other code *under its best approach* against Code 5-6's
+direct conversion, with and without load-balancing.  Table V repeats the
+comparison with simulated (disk-model) conversion times instead of the
+``B * Te`` analysis; the simulated variant lives in
+:mod:`repro.workloads`/:mod:`repro.simdisk` and plugs in through the
+``time_fn`` hook here.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.analysis.timing import conversion_time
+from repro.migration.approaches import alignment_cycle, build_plan, conversions_for_n
+from repro.migration.plan import ConversionPlan
+
+__all__ = ["SpeedupCell", "speedup_table", "best_time_for_code"]
+
+TimeFn = Callable[[ConversionPlan], float]
+
+
+@dataclass(frozen=True)
+class SpeedupCell:
+    """One entry of Table IV/V."""
+
+    n: int
+    code: str
+    best_approach: str
+    p: int
+    code_time: float
+    code56_time: float
+
+    @property
+    def speedup(self) -> float:
+        """How much faster Code 5-6 converts than this code (>= 1 is a win)."""
+        return self.code_time / self.code56_time
+
+
+def best_time_for_code(
+    code: str,
+    p: int,
+    n: int,
+    load_balanced: bool,
+    time_fn: TimeFn | None = None,
+) -> tuple[str, float]:
+    """(best approach, its conversion time) for ``code`` at width ``n``."""
+    from repro.migration.approaches import _SUPPORTED
+
+    best: tuple[str, float] | None = None
+    for approach, codes in _SUPPORTED.items():
+        if code not in codes:
+            continue
+        try:
+            groups = alignment_cycle(code, p, n)
+            plan = build_plan(code, approach, p, groups=groups, n_disks=n)
+        except ValueError:
+            continue
+        t = time_fn(plan) if time_fn else conversion_time(plan, load_balanced)
+        if best is None or t < best[1]:
+            best = (approach, t)
+    if best is None:
+        raise ValueError(f"{code} cannot produce an {n}-disk RAID-6 at p={p}")
+    return best
+
+
+def speedup_table(
+    n_values: tuple[int, ...] = (5, 6, 7),
+    load_balanced: bool = False,
+    time_fn: TimeFn | None = None,
+) -> list[SpeedupCell]:
+    """Reproduce Table IV (or Table V when ``time_fn`` simulates I/O)."""
+    cells: list[SpeedupCell] = []
+    for n in n_values:
+        candidates = conversions_for_n(n)
+        by_code: dict[str, int] = {}
+        for code, _approach, p in candidates:
+            by_code.setdefault(code, p)
+        if "code56" not in by_code:
+            continue
+        _, base_time = best_time_for_code(
+            "code56", by_code["code56"], n, load_balanced, time_fn
+        )
+        for code, p in sorted(by_code.items()):
+            if code == "code56":
+                continue
+            approach, t = best_time_for_code(code, p, n, load_balanced, time_fn)
+            cells.append(
+                SpeedupCell(
+                    n=n,
+                    code=code,
+                    best_approach=approach,
+                    p=p,
+                    code_time=t,
+                    code56_time=base_time,
+                )
+            )
+    return cells

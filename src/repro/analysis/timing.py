@@ -1,0 +1,47 @@
+"""Conversion-time models (Figs 16-17, Section V-B).
+
+The paper assumes a uniform element access time ``Te`` and ignores
+computation time; disks operate in parallel, so within one pass the
+makespan is governed by the busiest disk:
+
+* **NLB** (no load balancing — dedicated parity layout): for each phase,
+  makespan = max over disks of that disk's I/O count; phases of the
+  two-step approaches are sequential whole-array passes, so their
+  makespans add.
+* **LB** (with load balancing — the dedicated parity role rotates every
+  few stripe-groups, as EMC/NetApp RAID-6 implementations do): over a
+  full rotation cycle every disk carries the same share, so the per-phase
+  makespan tends to ``total I/Os in phase / n``.  We model the ideal
+  balanced limit, which matches the paper's "similar to NLB, results for
+  conversion time only" treatment.
+
+Both return time in units of ``B * Te``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.migration.plan import ConversionPlan
+
+__all__ = ["conversion_time", "phase_makespans"]
+
+
+def phase_makespans(plan: ConversionPlan, load_balanced: bool) -> list[float]:
+    """Per-phase makespan in units of ``Te`` (not yet normalised by B)."""
+    out: list[float] = []
+    for phase in plan.phases:
+        per_disk = plan.per_disk_ios(phase=phase)
+        if not per_disk.any():
+            continue
+        if load_balanced:
+            out.append(float(per_disk.sum()) / plan.n)
+        else:
+            out.append(float(per_disk.max()))
+    return out
+
+
+def conversion_time(plan: ConversionPlan, load_balanced: bool = False) -> float:
+    """Total conversion makespan normalised to ``B * Te``."""
+    spans = phase_makespans(plan, load_balanced)
+    return float(np.sum(spans)) / plan.data_blocks if plan.data_blocks else 0.0

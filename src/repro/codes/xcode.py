@@ -1,0 +1,58 @@
+"""X-Code — Xu & Bruck (IEEE Trans. Information Theory 1999).
+
+A vertical MDS code: the stripe is ``p x p`` for prime ``p``; rows
+``0 .. p-3`` hold data, row ``p-2`` holds diagonal parities and row
+``p-1`` anti-diagonal parities:
+
+    C(p-2, i) = XOR_{k=0}^{p-3} C(k, (i + k + 2) mod p)
+    C(p-1, i) = XOR_{k=0}^{p-3} C(k, (i - k - 2) mod p)
+
+Every column carries both data and parity, which is why a direct
+RAID-5 -> RAID-6 conversion with X-Code must reserve two parity rows per
+stripe on the existing disks (the paper's Figure 1(c): 40% reserved
+capacity at ``p = 5``).
+"""
+
+from __future__ import annotations
+
+from repro.codes.geometry import ChainKind, CodeLayout, ParityChain
+from repro.util.primes import is_prime
+
+__all__ = ["xcode_layout"]
+
+
+def xcode_layout(p: int) -> CodeLayout:
+    """Build the X-Code layout for prime ``p``.
+
+    X-Code cannot be column-shortened (every column carries parity whose
+    chain spans other columns), so no ``virtual_cols`` parameter exists.
+    """
+    if not is_prime(p):
+        raise ValueError(f"X-Code requires prime p, got {p}")
+    if p < 5:
+        raise ValueError("X-Code needs p >= 5")
+
+    chains: list[ParityChain] = []
+    for i in range(p):
+        chains.append(
+            ParityChain(
+                parity=(p - 2, i),
+                members=tuple((k, (i + k + 2) % p) for k in range(p - 2)),
+                kind=ChainKind.DIAGONAL,
+            )
+        )
+    for i in range(p):
+        chains.append(
+            ParityChain(
+                parity=(p - 1, i),
+                members=tuple((k, (i - k - 2) % p) for k in range(p - 2)),
+                kind=ChainKind.DIAGONAL,
+            )
+        )
+    return CodeLayout(
+        name="xcode",
+        p=p,
+        rows=p,
+        cols=p,
+        chains=chains,
+    )

@@ -1,0 +1,35 @@
+"""The paper's contribution: Code 5-6 algorithms beyond raw geometry.
+
+* :mod:`repro.core.chain_decoder` — Algorithm 1 (two recovery chains)
+* :mod:`repro.core.recovery` — hybrid single-disk recovery (Fig. 6)
+* :mod:`repro.core.conversion` — bidirectional migration (Algorithm 2)
+* :mod:`repro.core.virtual` — virtual disks for any array width
+"""
+
+from repro.core.chain_decoder import plan_double_column_recovery, recovery_chain_starting_points
+from repro.core.conversion import (
+    Code56Migrator,
+    MigrationOutcome,
+    downgrade_to_raid5,
+    upgrade_to_raid6,
+)
+from repro.core.recovery import HybridRecovery, conventional_recovery_reads, plan_hybrid_recovery
+from repro.core.virtual import VirtualDiskPlan, virtual_disk_plan
+
+__all__ = [
+    "plan_double_column_recovery",
+    "recovery_chain_starting_points",
+    "Code56Migrator",
+    "MigrationOutcome",
+    "downgrade_to_raid5",
+    "upgrade_to_raid6",
+    "HybridRecovery",
+    "conventional_recovery_reads",
+    "plan_hybrid_recovery",
+    "VirtualDiskPlan",
+    "virtual_disk_plan",
+]
+
+from repro.core.recovery_generic import GenericHybridRecovery, plan_generic_hybrid_recovery
+
+__all__ += ["GenericHybridRecovery", "plan_generic_hybrid_recovery"]

@@ -1,0 +1,56 @@
+"""Virtual disks: Code 5-6 over any number of source disks (Section IV-B2).
+
+``m + 1`` prime is the sweet spot; otherwise the next prime ``p`` is used
+with ``v = p - m - 1`` *virtual disks* — imaginary all-NULL columns
+prepended to the stripe.  The virtual-element rule voids both the
+virtual columns and every data cell whose horizontal parity would sit on
+one, so each stripe-group carries ``m`` real rows of ``m - 1`` data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codes.geometry import CodeLayout
+from repro.codes.registry import get_layout
+from repro.util.primes import prime_for_disks
+
+__all__ = ["VirtualDiskPlan", "virtual_disk_plan"]
+
+
+@dataclass(frozen=True)
+class VirtualDiskPlan:
+    """How a RAID-5 of ``m`` disks maps onto a Code 5-6 stripe."""
+
+    m: int  # source disks
+    n: int  # converted disks (m + 1)
+    p: int  # prime stripe parameter
+    v: int  # virtual disks
+    virtual_cols: tuple[int, ...]
+
+    @property
+    def needs_virtual(self) -> bool:
+        return self.v > 0
+
+    def layout(self) -> CodeLayout:
+        return get_layout("code56", self.p, virtual_cols=self.virtual_cols)
+
+    @property
+    def data_per_group(self) -> int:
+        """Real data cells per stripe (= ``m`` source rows of ``m-1``)."""
+        return self.m * (self.m - 1)
+
+
+def virtual_disk_plan(m: int) -> VirtualDiskPlan:
+    """Pick ``p`` and the virtual columns for an ``m``-disk RAID-5."""
+    if m < 3:
+        raise ValueError("need at least a 3-disk RAID-5")
+    p = prime_for_disks(m)
+    v = p - 1 - m
+    return VirtualDiskPlan(
+        m=m,
+        n=m + 1,
+        p=p,
+        v=v,
+        virtual_cols=tuple(range(v)),
+    )

@@ -1,0 +1,66 @@
+"""Vectorised Code 5-6 conversion: the whole array as one numpy batch.
+
+The generic engine executes group-by-group through counted single-block
+I/O — ideal for auditing, slow in Python.  A production converter would
+stream large extents; this module is that fast path for the direct
+Code 5-6 migration: every stripe-group's diagonal parities are computed
+in one batched XOR reduction per chain (shape ``(groups, block)`` per
+cell), touching each disk with bulk array slices.
+
+Produces byte-identical results to the engine (tested) at a fraction of
+the wall time (benchmarked in ``bench_ablation_vectorised_engine.py``);
+the I/O *counts* are accounted at the same per-block granularity so the
+metrics do not change — only the Python overhead does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codes.code56 import diagonal_chain_cells
+from repro.raid.array import BlockArray
+
+__all__ = ["fast_convert_code56"]
+
+
+def fast_convert_code56(array: BlockArray, p: int, groups: int | None = None) -> int:
+    """Directly convert a left-asymmetric RAID-5 of ``p-1`` disks in bulk.
+
+    The array must already have the hot-added blank disk ``p-1``.
+    Returns the number of parity blocks written.  I/O counters are
+    credited with the same per-block totals the audited engine performs
+    (``(p-1)(p-2)`` reads per group on the data disks, ``p-1`` writes on
+    the new disk).
+    """
+    m = p - 1
+    if array.n_disks < p:
+        raise ValueError("add the new disk before converting")
+    rows = p - 1
+    if groups is None:
+        groups = array.blocks_per_disk // rows
+    if groups * rows > array.blocks_per_disk:
+        raise ValueError("array too small for the requested groups")
+
+    # Bulk view of the square region: (disk, group, row, block)
+    # array storage is (disk, block, bs) with block = g*rows + r.
+    bs = array.block_size
+    region = array._store[:m, : groups * rows].reshape(m, groups, rows, bs)
+    out = array._store[m, : groups * rows].reshape(groups, rows, bs)
+
+    written = 0
+    for parity_row in range(rows):
+        chain = diagonal_chain_cells(p, parity_row)
+        acc = out[:, parity_row, :]
+        acc[...] = 0
+        for r, c in chain:
+            np.bitwise_xor(acc, region[c, :, r, :], out=acc)
+        written += groups
+
+    # credit the counters with the per-block equivalents
+    data_cells_per_disk = np.zeros(array.n_disks, dtype=np.int64)
+    for parity_row in range(rows):
+        for _r, c in diagonal_chain_cells(p, parity_row):
+            data_cells_per_disk[c] += 1
+    array.reads[: array.n_disks] += data_cells_per_disk * groups
+    array.writes[m] += written
+    return written

@@ -1,0 +1,59 @@
+"""Conversion-plan operations.
+
+A conversion is materialised as an explicit, block-accurate op list.
+Executing the list on a :class:`BlockArray` produces the converted
+RAID-6; counting it produces every metric of the paper's Section V
+(parity ratios, XORs, write I/Os, total I/Os, per-disk load).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["OpKind", "Purpose", "IOOp"]
+
+
+class OpKind(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+    #: metadata-only free-space marking (a migrated parity's vacated slot);
+    #: zeroed in the simulator for bit-verifiability but costs no I/O,
+    #: matching the paper's taxonomy where only *invalidation* writes NULLs.
+    TRIM = "trim"
+
+
+class Purpose(enum.Enum):
+    """Why an op happens — the paper's parity-operation taxonomy."""
+
+    DATA_READ = "data-read"  # reading surviving data to compute parity
+    PARITY_INVALIDATE = "parity-invalidate"  # set invalid old parity to NULL
+    PARITY_MIGRATE_READ = "parity-migrate-read"  # old parity off its old disk
+    PARITY_MIGRATE_WRITE = "parity-migrate-write"  # ... onto the new disk
+    NEW_PARITY_WRITE = "new-parity-write"  # freshly generated parity
+    DATA_MIGRATE_READ = "data-migrate-read"  # data displaced by parity cells
+    DATA_MIGRATE_WRITE = "data-migrate-write"
+    FREE_SLOT = "free-slot"  # TRIM of a vacated slot
+
+
+@dataclass(frozen=True)
+class IOOp:
+    """One block operation of a conversion plan.
+
+    ``phase`` orders the conversion macroscopically (``0`` = degrade step
+    of the two-step approaches, ``1`` = upgrade / direct step); ops within
+    a phase are grouped by ``group`` (stripe-group id) and executable in
+    list order.
+    """
+
+    kind: OpKind
+    purpose: Purpose
+    disk: int
+    block: int
+    group: int
+    phase: int = 0
+
+    @property
+    def is_io(self) -> bool:
+        """Does this op cost a disk I/O?  (TRIMs are metadata only.)"""
+        return self.kind is not OpKind.TRIM

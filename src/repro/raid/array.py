@@ -1,0 +1,142 @@
+"""In-memory disk arrays with per-disk I/O accounting.
+
+:class:`BlockArray` is the physical substrate every RAID class and the
+migration engine run on: a bank of fixed-size block devices backed by one
+numpy array, with failure injection and exact read/write counters per
+disk.  The counters are what turn executed conversions into the paper's
+I/O metrics (Figs 13-17) without any separate bookkeeping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DiskFailure", "BlockArray"]
+
+
+class DiskFailure(Exception):
+    """Raised when touching a failed disk."""
+
+
+class BlockArray:
+    """A bank of ``n`` block devices of ``blocks_per_disk`` blocks each.
+
+    Blocks are uint8 payloads of ``block_size`` bytes.  All accesses go
+    through :meth:`read` / :meth:`write`, which enforce failure state and
+    count I/Os; bulk snapshots for verification use :meth:`snapshot`
+    (not counted — it models an out-of-band check, not array traffic).
+    """
+
+    def __init__(self, n_disks: int, blocks_per_disk: int, block_size: int = 16):
+        if n_disks < 1 or blocks_per_disk < 1 or block_size < 1:
+            raise ValueError("array dimensions must be positive")
+        self.block_size = block_size
+        self._store = np.zeros((n_disks, blocks_per_disk, block_size), dtype=np.uint8)
+        self._failed: set[int] = set()
+        self.reads = np.zeros(n_disks, dtype=np.int64)
+        self.writes = np.zeros(n_disks, dtype=np.int64)
+
+    # ------------------------------------------------------------ properties
+    @property
+    def n_disks(self) -> int:
+        return self._store.shape[0]
+
+    @property
+    def blocks_per_disk(self) -> int:
+        return self._store.shape[1]
+
+    @property
+    def failed_disks(self) -> frozenset[int]:
+        return frozenset(self._failed)
+
+    @property
+    def total_reads(self) -> int:
+        return int(self.reads.sum())
+
+    @property
+    def total_writes(self) -> int:
+        return int(self.writes.sum())
+
+    @property
+    def total_ios(self) -> int:
+        return self.total_reads + self.total_writes
+
+    def reset_counters(self) -> None:
+        self.reads[:] = 0
+        self.writes[:] = 0
+
+    # ------------------------------------------------------------------- I/O
+    def _check(self, disk: int, block: int) -> None:
+        if not 0 <= disk < self.n_disks:
+            raise IndexError(f"disk {disk} outside 0..{self.n_disks - 1}")
+        if disk in self._failed:
+            raise DiskFailure(f"disk {disk} has failed")
+        if not 0 <= block < self.blocks_per_disk:
+            raise IndexError(f"block {block} outside disk of {self.blocks_per_disk}")
+
+    def read(self, disk: int, block: int) -> np.ndarray:
+        """Read one block (returns a copy; counted)."""
+        self._check(disk, block)
+        self.reads[disk] += 1
+        return self._store[disk, block].copy()
+
+    def write(self, disk: int, block: int, payload: np.ndarray) -> None:
+        """Write one block (counted)."""
+        self._check(disk, block)
+        payload = np.asarray(payload, dtype=np.uint8)
+        if payload.shape != (self.block_size,):
+            raise ValueError(f"payload must be ({self.block_size},), got {payload.shape}")
+        self.writes[disk] += 1
+        self._store[disk, block] = payload
+
+    def write_zero(self, disk: int, block: int) -> None:
+        """Write a NULL block (parity invalidation; counted as a write)."""
+        self._check(disk, block)
+        self.writes[disk] += 1
+        self._store[disk, block] = 0
+
+    # ------------------------------------------------------- failure control
+    def fail_disk(self, disk: int) -> None:
+        if not 0 <= disk < self.n_disks:
+            raise IndexError(f"disk {disk} outside array")
+        self._failed.add(disk)
+
+    def replace_disk(self, disk: int) -> None:
+        """Swap in a blank disk (clears failure state and contents)."""
+        if not 0 <= disk < self.n_disks:
+            raise IndexError(f"disk {disk} outside array")
+        self._failed.discard(disk)
+        self._store[disk] = 0
+
+    def add_disk(self) -> int:
+        """Hot-add a blank disk; returns its index (RAID level migration)."""
+        blank = np.zeros((1,) + self._store.shape[1:], dtype=np.uint8)
+        self._store = np.concatenate([self._store, blank], axis=0)
+        self.reads = np.append(self.reads, 0)
+        self.writes = np.append(self.writes, 0)
+        return self.n_disks - 1
+
+    def remove_disk(self) -> None:
+        """Drop the last disk (RAID-6 -> RAID-5 downgrade)."""
+        if self.n_disks == 1:
+            raise ValueError("cannot remove the last disk")
+        last = self.n_disks - 1
+        self._failed.discard(last)
+        self._store = self._store[:-1]
+        self.reads = self.reads[:-1]
+        self.writes = self.writes[:-1]
+
+    # ----------------------------------------------------------- inspection
+    def snapshot(self) -> np.ndarray:
+        """Uncounted copy of the whole array (verification only)."""
+        return self._store.copy()
+
+    def raw(self, disk: int, block: int) -> np.ndarray:
+        """Uncounted view of a block (verification only)."""
+        return self._store[disk, block]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<BlockArray {self.n_disks}x{self.blocks_per_disk} "
+            f"bs={self.block_size} failed={sorted(self._failed)}>"
+        )

@@ -1,0 +1,22 @@
+"""Trace-driven disk-array simulator (DiskSim substitute)."""
+
+from repro.simdisk.disk import DiskModel
+from repro.simdisk.events import Event, EventQueue
+from repro.simdisk.presets import PRESETS, get_preset
+from repro.simdisk.scheduler import FcfsQueue, LookQueue, SstfQueue, make_scheduler
+from repro.simdisk.sim import DiskArraySimulator, SimResult, simulate_closed
+
+__all__ = [
+    "DiskModel",
+    "Event",
+    "EventQueue",
+    "PRESETS",
+    "get_preset",
+    "FcfsQueue",
+    "SstfQueue",
+    "LookQueue",
+    "make_scheduler",
+    "DiskArraySimulator",
+    "SimResult",
+    "simulate_closed",
+]

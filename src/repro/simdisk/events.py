@@ -1,0 +1,40 @@
+"""Minimal discrete-event core for the disk-array simulator."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True)
+class Event:
+    """A timestamped event; ``seq`` breaks ties deterministically."""
+
+    time: float
+    seq: int
+    kind: str = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """A deterministic priority queue of events."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, kind: str, payload: Any = None) -> None:
+        heapq.heappush(self._heap, Event(time, next(self._counter), kind, payload))
+
+    def pop(self) -> Event:
+        return heapq.heappop(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,53 @@
+"""Disk parameter presets.
+
+Loosely modelled on the drives DiskSim-era papers simulated; absolute
+values are representative, not vendor-exact — the reproduction compares
+*relative* conversion times, which depend on I/O mix and sequentiality,
+not on the precise seek curve.
+"""
+
+from __future__ import annotations
+
+from repro.simdisk.disk import DiskModel
+
+__all__ = ["PRESETS", "get_preset"]
+
+PRESETS: dict[str, DiskModel] = {
+    # mainstream 7200rpm SATA (Barracuda-class), the paper's default tier
+    "sata-7200": DiskModel(
+        name="sata-7200",
+        rpm=7200,
+        single_cyl_seek_ms=0.8,
+        max_seek_ms=10.0,
+        cylinders=60_000,
+        blocks_per_cylinder=1024,
+        transfer_mb_s=100.0,
+    ),
+    # enterprise 10k SAS
+    "sas-10k": DiskModel(
+        name="sas-10k",
+        rpm=10_000,
+        single_cyl_seek_ms=0.5,
+        max_seek_ms=7.0,
+        cylinders=50_000,
+        blocks_per_cylinder=768,
+        transfer_mb_s=150.0,
+    ),
+    # enterprise 15k (Cheetah-class)
+    "sas-15k": DiskModel(
+        name="sas-15k",
+        rpm=15_000,
+        single_cyl_seek_ms=0.4,
+        max_seek_ms=5.0,
+        cylinders=40_000,
+        blocks_per_cylinder=512,
+        transfer_mb_s=200.0,
+    ),
+}
+
+
+def get_preset(name: str) -> DiskModel:
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise KeyError(f"unknown disk preset {name!r}; known: {sorted(PRESETS)}") from None

@@ -1,0 +1,82 @@
+"""Per-disk queue disciplines for the event-driven simulator."""
+
+from __future__ import annotations
+
+from collections import deque
+
+__all__ = ["make_scheduler", "FcfsQueue", "SstfQueue", "LookQueue"]
+
+
+class FcfsQueue:
+    """First-come first-served."""
+
+    name = "fcfs"
+
+    def __init__(self) -> None:
+        self._q: deque = deque()
+
+    def push(self, request) -> None:
+        self._q.append(request)
+
+    def pop(self, head_block: int):
+        return self._q.popleft()
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+
+class SstfQueue:
+    """Shortest seek time first (greedy nearest block)."""
+
+    name = "sstf"
+
+    def __init__(self) -> None:
+        self._q: list = []
+
+    def push(self, request) -> None:
+        self._q.append(request)
+
+    def pop(self, head_block: int):
+        best = min(range(len(self._q)), key=lambda i: abs(self._q[i].block - head_block))
+        return self._q.pop(best)
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+
+class LookQueue:
+    """Elevator (LOOK): sweep upward, reverse at the last pending block."""
+
+    name = "look"
+
+    def __init__(self) -> None:
+        self._q: list = []
+        self._direction = 1
+
+    def push(self, request) -> None:
+        self._q.append(request)
+
+    def pop(self, head_block: int):
+        ahead = [
+            i
+            for i in range(len(self._q))
+            if (self._q[i].block - head_block) * self._direction >= 0
+        ]
+        if not ahead:
+            self._direction *= -1
+            ahead = range(len(self._q))
+        best = min(ahead, key=lambda i: abs(self._q[i].block - head_block))
+        return self._q.pop(best)
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+
+_SCHEDULERS = {"fcfs": FcfsQueue, "sstf": SstfQueue, "look": LookQueue}
+
+
+def make_scheduler(name: str):
+    try:
+        return _SCHEDULERS[name]()
+    except KeyError:
+        raise KeyError(f"unknown scheduler {name!r}; known: {sorted(_SCHEDULERS)}") from None

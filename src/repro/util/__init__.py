@@ -1,0 +1,20 @@
+"""Low-level utilities: primes, GF(2) and GF(2^8) arithmetic, block buffers."""
+
+from repro.util.primes import is_prime, next_prime, previous_prime, primes_in_range
+from repro.util.gf2 import gf2_rank, gf2_solve, gf2_inverse, gf2_elimination
+from repro.util.blocks import xor_reduce, xor_into, zeros_blocks, random_blocks
+
+__all__ = [
+    "is_prime",
+    "next_prime",
+    "previous_prime",
+    "primes_in_range",
+    "gf2_rank",
+    "gf2_solve",
+    "gf2_inverse",
+    "gf2_elimination",
+    "xor_reduce",
+    "xor_into",
+    "zeros_blocks",
+    "random_blocks",
+]

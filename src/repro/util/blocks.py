@@ -1,0 +1,52 @@
+"""Payload-block helpers.
+
+A *block* (the paper's "element") is a contiguous byte buffer; a stripe is
+a ``(rows, cols, block_size)`` uint8 array and a whole array region is
+``(stripes, rows, cols, block_size)``.  All parity math is XOR, so the
+hot path is XOR-reducing a handful of views — kept allocation-free and
+vectorised per the HPC guides (views not copies, in-place reductions).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["xor_reduce", "xor_into", "zeros_blocks", "random_blocks"]
+
+
+def xor_reduce(views: Sequence[np.ndarray], out: np.ndarray | None = None) -> np.ndarray:
+    """XOR a sequence of equally-shaped uint8 arrays.
+
+    ``out`` may alias none of the inputs' memory except possibly the first
+    (the common "accumulate into the parity slot" case).  With ``out``
+    given, no temporary is allocated.
+    """
+    if not views:
+        raise ValueError("xor_reduce needs at least one operand")
+    first = views[0]
+    if out is None:
+        out = first.copy()
+    elif out is not first:
+        np.copyto(out, first)
+    for v in views[1:]:
+        np.bitwise_xor(out, v, out=out)
+    return out
+
+
+def xor_into(target: np.ndarray, *views: np.ndarray) -> np.ndarray:
+    """In-place ``target ^= v`` for each operand; returns ``target``."""
+    for v in views:
+        np.bitwise_xor(target, v, out=target)
+    return target
+
+
+def zeros_blocks(*shape: int, block_size: int = 16) -> np.ndarray:
+    """Allocate a zeroed block array of ``(*shape, block_size)`` uint8."""
+    return np.zeros(shape + (block_size,), dtype=np.uint8)
+
+
+def random_blocks(rng: np.random.Generator, *shape: int, block_size: int = 16) -> np.ndarray:
+    """Random payload blocks — used pervasively by tests and examples."""
+    return rng.integers(0, 256, size=shape + (block_size,), dtype=np.uint8)

@@ -1,0 +1,92 @@
+"""Dense linear algebra over GF(2).
+
+The generic erasure decoder expresses "which surviving cells XOR to which
+lost cell" as a linear system over GF(2); these routines solve it.  The
+matrices involved are tiny (a few dozen unknowns — two columns of a
+stripe), so a dense uint8 elimination is both simple and fast.  The
+*block* work (XORing kilobyte payloads) is vectorised separately in
+:mod:`repro.util.blocks`; nothing here touches payload data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gf2_elimination", "gf2_rank", "gf2_solve", "gf2_inverse"]
+
+
+def gf2_elimination(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray, list[int]]:
+    """Reduced row-echelon form of ``matrix`` over GF(2).
+
+    Returns ``(rref, transform, pivot_cols)`` where ``transform`` records
+    the row operations (``transform @ matrix % 2 == rref``).  ``transform``
+    is the key output for the decoder: its rows say which original
+    equations combine to isolate each unknown.
+    """
+    a = np.asarray(matrix, dtype=np.uint8).copy() % 2
+    rows, cols = a.shape
+    t = np.eye(rows, dtype=np.uint8)
+    pivot_cols: list[int] = []
+    row = 0
+    for col in range(cols):
+        if row == rows:
+            break
+        pivot = None
+        for r in range(row, rows):
+            if a[r, col]:
+                pivot = r
+                break
+        if pivot is None:
+            continue
+        if pivot != row:
+            a[[row, pivot]] = a[[pivot, row]]
+            t[[row, pivot]] = t[[pivot, row]]
+        hits = np.nonzero(a[:, col])[0]
+        for r in hits:
+            if r != row:
+                a[r] ^= a[row]
+                t[r] ^= t[row]
+        pivot_cols.append(col)
+        row += 1
+    return a, t, pivot_cols
+
+
+def gf2_rank(matrix: np.ndarray) -> int:
+    """Rank of ``matrix`` over GF(2)."""
+    _, _, pivots = gf2_elimination(matrix)
+    return len(pivots)
+
+
+def gf2_solve(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray | None:
+    """Solve ``matrix @ x = rhs`` over GF(2).
+
+    Returns the unique solution vector, or ``None`` when the system is
+    inconsistent **or** underdetermined (erasure decoding needs a unique
+    answer; a solution space of dimension > 0 means unrecoverable).
+    """
+    a = np.asarray(matrix, dtype=np.uint8) % 2
+    b = np.asarray(rhs, dtype=np.uint8) % 2
+    rows, cols = a.shape
+    rref, t, pivots = gf2_elimination(a)
+    if len(pivots) < cols:
+        return None
+    tb = (t @ b) % 2
+    # rows beyond the rank must have zero RHS, otherwise inconsistent
+    if rows > cols and tb[cols:].any():
+        return None
+    x = np.zeros(cols, dtype=np.uint8)
+    for r, col in enumerate(pivots):
+        x[col] = tb[r]
+    return x
+
+
+def gf2_inverse(matrix: np.ndarray) -> np.ndarray | None:
+    """Inverse of a square matrix over GF(2), or ``None`` if singular."""
+    a = np.asarray(matrix, dtype=np.uint8) % 2
+    rows, cols = a.shape
+    if rows != cols:
+        raise ValueError("gf2_inverse requires a square matrix")
+    rref, t, pivots = gf2_elimination(a)
+    if len(pivots) < cols:
+        return None
+    return t

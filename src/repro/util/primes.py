@@ -1,0 +1,70 @@
+"""Prime-number helpers.
+
+Array codes in this library (Code 5-6, RDP, EVENODD, X-Code, P-Code,
+H-Code, HDP) are all parameterised by a prime ``p``; the helpers here are
+used by the code constructors and by the virtual-disk machinery that maps
+an arbitrary disk count onto the nearest usable prime (Section IV-B2 of
+the paper).
+"""
+
+from __future__ import annotations
+
+
+def is_prime(n: int) -> bool:
+    """Return True when ``n`` is a prime number.
+
+    Deterministic trial division; code parameters are tiny (tens of
+    disks), so no probabilistic test is warranted.
+    """
+    if n < 2:
+        return False
+    if n < 4:
+        return True
+    if n % 2 == 0:
+        return False
+    f = 3
+    while f * f <= n:
+        if n % f == 0:
+            return False
+        f += 2
+    return True
+
+
+def next_prime(n: int) -> int:
+    """Smallest prime strictly greater than ``n``."""
+    candidate = n + 1
+    while not is_prime(candidate):
+        candidate += 1
+    return candidate
+
+
+def previous_prime(n: int) -> int:
+    """Largest prime strictly smaller than ``n``.
+
+    Raises ``ValueError`` when no such prime exists (``n <= 2``).
+    """
+    candidate = n - 1
+    while candidate >= 2:
+        if is_prime(candidate):
+            return candidate
+        candidate -= 1
+    raise ValueError(f"no prime below {n}")
+
+
+def primes_in_range(lo: int, hi: int) -> list[int]:
+    """All primes ``p`` with ``lo <= p < hi`` (ascending)."""
+    return [n for n in range(max(lo, 2), hi) if is_prime(n)]
+
+
+def prime_for_disks(m: int) -> int:
+    """Prime ``p`` used by Code 5-6 to host a RAID-5 of ``m`` disks.
+
+    Per Section IV-B2: the RAID-6 will have ``p`` disks where ``p`` is the
+    smallest prime with ``p - 1 >= m`` (no virtual disks needed when
+    ``m + 1`` is prime, i.e. ``m = p - 1``).
+    """
+    if m < 2:
+        raise ValueError("a RAID-5 needs at least 2 disks that hold parity rows")
+    if is_prime(m + 1):
+        return m + 1
+    return next_prime(m + 1)

@@ -1,0 +1,26 @@
+"""Workload and trace generation (migration I/O streams, app traffic)."""
+
+from repro.workloads.generators import (
+    conversion_trace,
+    sequential_trace,
+    uniform_trace,
+    zipf_trace,
+)
+from repro.workloads.trace import Trace
+
+__all__ = [
+    "Trace",
+    "conversion_trace",
+    "uniform_trace",
+    "zipf_trace",
+    "sequential_trace",
+]
+
+from repro.workloads.rebuild import rebuild_trace
+from repro.workloads.replay import LogicalWorkload, ReplayResult, logical_workload, replay
+
+__all__ += ["rebuild_trace", "LogicalWorkload", "ReplayResult", "logical_workload", "replay"]
+
+from repro.workloads.trace import load_disksim, save_disksim
+
+__all__ += ["save_disksim", "load_disksim"]

@@ -1,0 +1,163 @@
+"""Trace generators.
+
+Two families:
+
+* :func:`conversion_trace` — turns a block-accurate conversion plan into
+  the migration I/O stream of Section V-C ("we generate different
+  synthetic traces for the migration I/Os ... based on the results of
+  mathematical analysis").  One alignment cycle of the plan is tiled to
+  the requested ``B`` (0.6M blocks in Figure 19), entirely in numpy.
+* synthetic application workloads (uniform / zipf / sequential) used by
+  the online-conversion machinery and the examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.migration.ops import OpKind
+from repro.migration.plan import ConversionPlan
+from repro.workloads.trace import Trace
+
+__all__ = [
+    "conversion_trace",
+    "uniform_trace",
+    "zipf_trace",
+    "sequential_trace",
+]
+
+
+def conversion_trace(
+    plan: ConversionPlan,
+    total_data_blocks: int | None = None,
+    block_size: int = 4096,
+    lb_rotation_period: int | None = None,
+) -> Trace:
+    """Migration I/O trace for ``plan``, tiled to ``total_data_blocks``.
+
+    The plan should cover one alignment cycle (see
+    :func:`repro.migration.approaches.alignment_cycle`); its op stream is
+    replicated with per-tile block offsets, preserving the macroscopic
+    phase order (the two-step approaches complete their degrade pass over
+    the whole array before upgrading, which is what exposes the RAID-0 /
+    RAID-4 reliability window of Table VI).
+
+    ``lb_rotation_period`` emulates the "with load balancing support"
+    implementation: the column-to-disk assignment rotates by one position
+    every that many stripe-groups, spreading the dedicated-parity write
+    stream over all spindles.
+    """
+    ops = [op for op in plan.ops if op.kind is not OpKind.TRIM]
+    if not ops:
+        raise ValueError("plan has no I/O operations")
+    phase = np.array([op.phase for op in ops], dtype=np.int32)
+    group = np.array([op.group for op in ops], dtype=np.int64)
+    disk = np.array([op.disk for op in ops], dtype=np.int64)
+    block = np.array([op.block for op in ops], dtype=np.int64)
+    is_write = np.array([op.kind is OpKind.WRITE for op in ops], dtype=bool)
+
+    if total_data_blocks is None:
+        tiles = 1
+    else:
+        tiles = max(1, -(-total_data_blocks // plan.data_blocks))
+    t = np.arange(tiles, dtype=np.int64)
+
+    # tile: block += t * blocks_per_disk ; group += t * cycle_groups
+    blocks = (block[None, :] + t[:, None] * plan.blocks_per_disk).ravel()
+    groups = (group[None, :] + t[:, None] * plan.groups).ravel()
+    disks = np.broadcast_to(disk, (tiles, len(ops))).ravel().copy()
+    writes = np.broadcast_to(is_write, (tiles, len(ops))).ravel()
+    phases = np.broadcast_to(phase, (tiles, len(ops))).ravel()
+
+    if lb_rotation_period is not None:
+        if lb_rotation_period < 1:
+            raise ValueError("lb_rotation_period must be >= 1")
+        disks = (disks + groups // lb_rotation_period) % plan.n
+
+    # phase-major global order; stable within a phase (tile then op order).
+    # Conversion traffic is closed-loop (all requests queued up front, the
+    # paper's "overall time to handle all I/O requests"), so arrivals are
+    # all zero and the array order carries the FCFS queue order.
+    order = np.argsort(phases, kind="stable")
+    return Trace(
+        arrival_ms=np.zeros(len(blocks), dtype=np.float64),
+        disk=disks[order].astype(np.int32),
+        block=blocks[order],
+        is_write=writes[order],
+        block_size=block_size,
+        name=f"convert-{plan.code.name}-{plan.approach}-p{plan.p}"
+        + ("-lb" if lb_rotation_period else ""),
+        meta={
+            "code": plan.code.name,
+            "approach": plan.approach,
+            "p": plan.p,
+            "m": plan.m,
+            "n": plan.n,
+            "data_blocks": plan.data_blocks * tiles,
+            "tiles": tiles,
+        },
+    )
+
+
+def uniform_trace(
+    rng: np.random.Generator,
+    n_requests: int,
+    n_disks: int,
+    blocks_per_disk: int,
+    read_fraction: float = 0.7,
+    interarrival_ms: float = 1.0,
+    block_size: int = 4096,
+) -> Trace:
+    """Uniformly random application workload (open arrival process)."""
+    return Trace(
+        arrival_ms=np.cumsum(rng.exponential(interarrival_ms, n_requests)),
+        disk=rng.integers(0, n_disks, n_requests).astype(np.int32),
+        block=rng.integers(0, blocks_per_disk, n_requests),
+        is_write=rng.random(n_requests) >= read_fraction,
+        block_size=block_size,
+        name="uniform",
+    )
+
+
+def zipf_trace(
+    rng: np.random.Generator,
+    n_requests: int,
+    n_disks: int,
+    blocks_per_disk: int,
+    skew: float = 1.2,
+    read_fraction: float = 0.7,
+    interarrival_ms: float = 1.0,
+    block_size: int = 4096,
+) -> Trace:
+    """Zipf-skewed workload (hot blocks), the usual datacenter shape."""
+    raw = rng.zipf(skew, n_requests)
+    total = n_disks * blocks_per_disk
+    flat = (raw - 1) % total
+    return Trace(
+        arrival_ms=np.cumsum(rng.exponential(interarrival_ms, n_requests)),
+        disk=(flat % n_disks).astype(np.int32),
+        block=flat // n_disks,
+        is_write=rng.random(n_requests) >= read_fraction,
+        block_size=block_size,
+        name=f"zipf-{skew}",
+    )
+
+
+def sequential_trace(
+    n_requests: int,
+    n_disks: int,
+    start_block: int = 0,
+    is_write: bool = False,
+    interarrival_ms: float = 0.1,
+    block_size: int = 4096,
+) -> Trace:
+    """A full-stripe sequential scan (e.g. backup or scrub traffic)."""
+    idx = np.arange(n_requests)
+    return Trace(
+        arrival_ms=idx * interarrival_ms,
+        disk=(idx % n_disks).astype(np.int32),
+        block=start_block + idx // n_disks,
+        is_write=np.full(n_requests, is_write),
+        block_size=block_size,
+        name="sequential",
+    )

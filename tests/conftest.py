@@ -1,0 +1,20 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+#: primes used for exhaustive certification (13 keeps runtimes sane)
+SMALL_PRIMES = (5, 7, 11, 13)
+
+#: the paper's comparison primes
+PAPER_PRIMES = (5, 7)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0xC0DE56)
+
+
+@pytest.fixture(params=PAPER_PRIMES)
+def paper_p(request) -> int:
+    return request.param

@@ -1,0 +1,65 @@
+"""Storage efficiency with virtual disks (Eq. 6, Fig. 18)."""
+
+import pytest
+
+from repro.analysis import code56_efficiency, efficiency_sweep, mds_raid6_efficiency
+
+
+class TestEq6:
+    def test_paper_example_m3(self):
+        """Section IV-B2: m=3 gives 6/13 vs the MDS 1/2."""
+        e = code56_efficiency(3)
+        assert e.p == 5 and e.v == 1
+        assert e.paper_efficiency == pytest.approx(6 / 13)
+        assert e.mds_efficiency == pytest.approx(0.5)
+
+    def test_no_virtual_matches_mds(self):
+        for m in (4, 6, 10, 12):
+            e = code56_efficiency(m)
+            assert e.v == 0
+            assert e.paper_efficiency == pytest.approx(e.mds_efficiency)
+            assert e.penalty == pytest.approx(0.0)
+
+    def test_paper_claim_penalty_below_3_8_percent(self):
+        """Fig. 18: 'virtual disks have minor effect (< 3.8%)'.
+
+        Eq. 6 gives exactly that bound whenever at most one virtual disk
+        is needed (v <= 1); widths inside large prime gaps (e.g. m = 7,
+        v = 3 -> 5.1%) exceed it slightly — recorded as a measured delta
+        in EXPERIMENTS.md.  The penalty stays under 6% for every m >= 5.
+        """
+        for m in range(5, 40):
+            e = code56_efficiency(m)
+            if e.v <= 1:
+                assert e.penalty <= 0.038 + 1e-9, (m, e.penalty)
+            assert e.penalty <= 0.06, (m, e.penalty)
+
+    def test_penalty_shrinks_with_scale(self):
+        worst_small = max(code56_efficiency(m).penalty for m in range(5, 12))
+        worst_large = max(code56_efficiency(m).penalty for m in range(20, 30))
+        assert worst_large < worst_small
+
+    def test_physical_efficiency_not_above_paper(self):
+        """The stricter layout metric can only be <= Eq. 6's value."""
+        for m in range(3, 20):
+            e = code56_efficiency(m)
+            assert e.physical_efficiency <= e.paper_efficiency + 1e-12
+
+    def test_physical_equals_paper_without_virtual(self):
+        e = code56_efficiency(6)
+        assert e.physical_efficiency == pytest.approx(e.paper_efficiency)
+
+
+class TestHelpers:
+    def test_mds_efficiency(self):
+        assert mds_raid6_efficiency(6) == pytest.approx(4 / 6)
+        with pytest.raises(ValueError):
+            mds_raid6_efficiency(2)
+
+    def test_sweep(self):
+        pts = efficiency_sweep(range(3, 9))
+        assert [e.m for e in pts] == [3, 4, 5, 6, 7, 8]
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            code56_efficiency(2)

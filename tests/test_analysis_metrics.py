@@ -1,0 +1,114 @@
+"""Metric extraction and the closed-form cost model (Section V-A/B)."""
+
+import math
+
+import pytest
+
+from repro.analysis import closed_form, conversion_time, metrics_from_plan
+from repro.analysis.costmodel import comparison_width
+from repro.migration import build_plan, supported_conversions
+from repro.migration.approaches import alignment_cycle
+
+FIELDS = (
+    "invalid_parity_ratio",
+    "migration_ratio",
+    "new_parity_ratio",
+    "extra_space_ratio",
+    "computation_cost",
+    "write_ios",
+    "total_ios",
+    "time_nlb",
+    "time_lb",
+)
+
+
+@pytest.mark.parametrize("code,approach", supported_conversions())
+@pytest.mark.parametrize("p", [5, 7, 11])
+def test_closed_form_matches_engine_accounting(code, approach, p):
+    """Two independent roads to every number of Figs 9-17."""
+    n = comparison_width(code, p)
+    groups = alignment_cycle(code, p, n)
+    plan = build_plan(code, approach, p, groups=groups, n_disks=n)
+    measured = metrics_from_plan(plan)
+    model = closed_form(code, approach, p)
+    for field in FIELDS:
+        expect = getattr(model, field)
+        if expect is None:
+            continue
+        got = getattr(measured, field)
+        assert math.isclose(got, expect, abs_tol=1e-12), (code, approach, p, field)
+
+
+class TestCode56Headline:
+    """Section V-A's worked example, as ratios."""
+
+    def test_paper_numbers_p5(self):
+        m = metrics_from_plan(build_plan("code56", "direct", 5, groups=1))
+        assert m.new_parity_ratio == pytest.approx(1 / 3)
+        assert m.write_ios == pytest.approx(1 / 3)
+        assert m.total_ios == pytest.approx(4 / 3)
+        assert m.computation_cost == pytest.approx(2 / 3)
+        assert m.time_nlb == pytest.approx(1 / 3)
+        assert m.invalid_parity_ratio == 0.0
+        assert m.migration_ratio == 0.0
+        assert m.extra_space_ratio == 0.0
+
+    def test_label_format(self):
+        m = metrics_from_plan(build_plan("code56", "direct", 5, groups=1))
+        assert m.label == "RAID-5->RAID-6(Code 5-6,4,5)"
+        m = metrics_from_plan(build_plan("rdp", "via-raid0", 5, groups=1))
+        assert m.label == "RAID-5->RAID-0->RAID-6(RDP,4,6)"
+
+
+class TestDominance:
+    """Figures 9-15: Code 5-6 minimises every cost metric at equal p."""
+
+    @pytest.mark.parametrize("p", [5, 7, 11])
+    def test_code56_minimises_costs(self, p):
+        base = metrics_from_plan(
+            build_plan("code56", "direct", p, groups=alignment_cycle("code56", p))
+        )
+        for code, approach in supported_conversions():
+            if code == "code56":
+                continue
+            n = comparison_width(code, p)
+            m = metrics_from_plan(
+                build_plan(code, approach, p, groups=alignment_cycle(code, p, n), n_disks=n)
+            )
+            assert base.write_ios <= m.write_ios + 1e-12, (code, approach)
+            assert base.total_ios <= m.total_ios + 1e-12, (code, approach)
+            assert base.computation_cost <= m.computation_cost + 1e-12, (code, approach)
+            assert base.new_parity_ratio <= m.new_parity_ratio + 1e-12, (code, approach)
+            assert base.extra_space_ratio <= m.extra_space_ratio + 1e-12, (code, approach)
+
+    def test_direct_beats_two_step_on_parity_ops(self):
+        """Direct conversion has no migration; via-RAID-0 has no migration
+        but invalidates; via-RAID-4 migrates but invalidates nothing."""
+        p = 5
+        r0 = metrics_from_plan(build_plan("rdp", "via-raid0", p, groups=1))
+        r4 = metrics_from_plan(build_plan("rdp", "via-raid4", p, groups=1))
+        assert r0.invalid_parity_ratio > 0 and r0.migration_ratio == 0
+        assert r4.invalid_parity_ratio == 0 and r4.migration_ratio > 0
+
+
+class TestTiming:
+    def test_lb_never_slower_than_nlb(self):
+        for code, approach in supported_conversions():
+            p = 5
+            n = comparison_width(code, p)
+            plan = build_plan(code, approach, p, groups=alignment_cycle(code, p, n), n_disks=n)
+            assert conversion_time(plan, load_balanced=True) <= conversion_time(
+                plan, load_balanced=False
+            ) + 1e-12
+
+    def test_more_disks_convert_faster(self):
+        """Fig 16's trend: conversion time falls as p grows."""
+        times = [
+            conversion_time(build_plan("code56", "direct", p, groups=1))
+            for p in (5, 7, 11, 13)
+        ]
+        assert times == sorted(times, reverse=True)
+
+    def test_unknown_closed_form(self):
+        with pytest.raises(KeyError):
+            closed_form("code56", "via-raid0", 5)

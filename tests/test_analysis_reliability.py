@@ -1,0 +1,126 @@
+"""Reliability models: Table I data, MTTDL Markov chains, Table VI risk."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reliability import (
+    AFR_BY_AGE,
+    ARR_BY_AGE,
+    HOURS_PER_YEAR,
+    TABLE_VI_CLASSES,
+    afr_to_lambda,
+    conversion_window_risk,
+    mttdl_raid,
+    mttdl_raid5,
+    mttdl_raid6,
+)
+
+
+class TestTableI:
+    def test_published_values(self):
+        assert AFR_BY_AGE[1] == pytest.approx(0.017)
+        assert AFR_BY_AGE[2] == pytest.approx(0.081)
+        assert AFR_BY_AGE[3] == pytest.approx(0.086)
+        assert ARR_BY_AGE[4] == pytest.approx(0.076)
+
+    def test_failure_rates_jump_after_year_one(self):
+        """The paper's motivation: AFR rises sharply after year 1."""
+        assert all(AFR_BY_AGE[y] > 3 * AFR_BY_AGE[1] for y in (2, 3, 4, 5))
+
+    def test_all_exceed_user_requirement(self):
+        # "less than 1% in terms of AFR" is violated from year 2 on
+        assert all(AFR_BY_AGE[y] > 0.01 for y in (1, 2, 3, 4, 5))
+
+
+class TestRates:
+    def test_afr_to_lambda_small_rate_approximation(self):
+        lam = afr_to_lambda(0.01)
+        assert lam == pytest.approx(0.01 / HOURS_PER_YEAR, rel=0.01)
+
+    def test_afr_roundtrip(self):
+        lam = afr_to_lambda(0.08)
+        assert 1 - np.exp(-lam * HOURS_PER_YEAR) == pytest.approx(0.08)
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            afr_to_lambda(1.0)
+        with pytest.raises(ValueError):
+            afr_to_lambda(-0.1)
+
+
+class TestMttdl:
+    def test_raid5_matches_textbook_approximation(self):
+        """MTTDL_RAID5 ~= mu / (n(n-1) lambda^2) when mu >> lambda."""
+        n, lam, mu = 8, 1e-6, 1e-2
+        exact = mttdl_raid5(n, lam, mu)
+        approx = mu / (n * (n - 1) * lam**2)
+        assert exact == pytest.approx(approx, rel=0.01)
+
+    def test_raid6_matches_textbook_approximation(self):
+        # parallel-repair model: state 2 repairs at 2*mu, hence the
+        # factor 2 over the single-crew textbook expression
+        n, lam, mu = 8, 1e-6, 1e-2
+        exact = mttdl_raid6(n, lam, mu)
+        approx = 2 * mu**2 / (n * (n - 1) * (n - 2) * lam**3)
+        assert exact == pytest.approx(approx, rel=0.01)
+
+    def test_raid6_beats_raid5(self):
+        lam, mu = afr_to_lambda(0.086), 1 / 24
+        assert mttdl_raid6(7, lam, mu) > 100 * mttdl_raid5(6, lam, mu)
+
+    def test_raid0_is_expected_first_failure(self):
+        n, lam = 5, 1e-4
+        t = mttdl_raid(n, 0, lam, 1.0) if False else None
+        # tolerance 0: MTTDL = 1/(n lam) regardless of mu
+        assert mttdl_raid(n, 0, lam, 123.0) == pytest.approx(1 / (n * lam))
+
+    def test_monotone_in_failure_rate(self):
+        mu = 1 / 24
+        vals = [mttdl_raid6(7, afr_to_lambda(a), mu) for a in (0.01, 0.05, 0.1)]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            mttdl_raid(2, 2, 1e-6, 1e-2)
+        with pytest.raises(ValueError):
+            mttdl_raid(5, 1, 0.0, 1e-2)
+
+
+class TestTableVI:
+    def test_classes(self):
+        assert TABLE_VI_CLASSES["via-raid0"]["reliability"] == "Low"
+        assert TABLE_VI_CLASSES["via-raid4"]["reliability"] == "Medium"
+        assert TABLE_VI_CLASSES["direct-code56"]["reliability"] == "High"
+        assert TABLE_VI_CLASSES["direct-vertical"]["reliability"] == "High"
+
+    def test_window_tolerance_per_approach(self):
+        afr, hours = 0.086, 5.0
+        r0 = conversion_window_risk("via-raid0", "rdp", 6, hours, afr)
+        r4 = conversion_window_risk("via-raid4", "rdp", 6, hours, afr)
+        d56 = conversion_window_risk("direct", "code56", 5, hours, afr)
+        dv = conversion_window_risk("direct", "xcode", 5, hours, afr)
+        assert r0.tolerance_during_window == 0
+        assert r4.tolerance_during_window == 1
+        assert d56.tolerance_during_window == 1
+        assert dv.reliability_class == "High"
+
+    def test_risk_ordering_matches_table(self):
+        """RAID-0 window is orders of magnitude riskier than the others."""
+        afr, hours = 0.086, 5.0
+        r0 = conversion_window_risk("via-raid0", "rdp", 6, hours, afr)
+        d56 = conversion_window_risk("direct", "code56", 5, hours, afr)
+        assert r0.loss_probability > 100 * d56.loss_probability
+        assert 0 <= d56.loss_probability < r0.loss_probability < 1
+
+    def test_longer_window_is_riskier(self):
+        afr = 0.086
+        short = conversion_window_risk("direct", "code56", 5, 1.0, afr)
+        long = conversion_window_risk("direct", "code56", 5, 50.0, afr)
+        assert long.loss_probability > short.loss_probability
+
+    def test_raid0_risk_approximates_any_failure(self):
+        """With tolerance 0, P(loss) ~= 1 - exp(-n lam t)."""
+        afr, hours, n = 0.05, 10.0, 6
+        lam = afr_to_lambda(afr)
+        risk = conversion_window_risk("via-raid0", "rdp", n, hours, afr)
+        assert risk.loss_probability == pytest.approx(1 - np.exp(-n * lam * hours), rel=1e-6)

@@ -1,0 +1,60 @@
+"""Speedup matrices (Tables IV / V)."""
+
+import pytest
+
+from repro.analysis import best_time_for_code, speedup_table
+
+
+class TestTableIV:
+    def test_table_structure(self):
+        cells = speedup_table(n_values=(5, 6, 7))
+        by_n = {}
+        for c in cells:
+            by_n.setdefault(c.n, set()).add(c.code)
+        # n=5: only X-Code competes (as in the paper's Table IV row)
+        assert by_n[5] >= {"xcode"}
+        assert "pcode" not in by_n[5] and "hdp" not in by_n[5]
+        # n=6: the five paper entries
+        assert {"rdp", "evenodd", "hcode", "pcode", "hdp"} <= by_n[6]
+        # n=7 includes X-Code again
+        assert "xcode" in by_n[7]
+
+    def test_all_speedups_at_least_one_with_lb(self):
+        """With load balancing, Code 5-6 is never slower (Table IV)."""
+        for cell in speedup_table(load_balanced=True):
+            assert cell.speedup >= 1.0 - 1e-9, (cell.n, cell.code, cell.speedup)
+
+    def test_xcode_n5_speedup_close_to_paper(self):
+        """The paper's only legible Table IV cell: X-Code at n=5, ~1.27."""
+        cells = [c for c in speedup_table(n_values=(5,)) if c.code == "xcode"]
+        assert cells
+        assert cells[0].speedup == pytest.approx(1.27, abs=0.1)
+
+    def test_speedups_bounded_by_paper_range(self):
+        """Prose: Code 5-6 accelerates by up to ~150% (speedup <= ~2.5)
+        against best approaches; nothing should be wildly outside."""
+        for cell in speedup_table(load_balanced=True):
+            assert 0.9 <= cell.speedup <= 3.5
+
+    def test_best_approach_is_recorded(self):
+        for cell in speedup_table(n_values=(6,)):
+            assert cell.best_approach in ("direct", "via-raid0", "via-raid4")
+
+
+class TestBestTime:
+    def test_picks_cheapest_approach(self):
+        approach, t = best_time_for_code("rdp", 5, 6, load_balanced=False)
+        # via-raid0 (NULL pass + generate) beats via-raid4's two
+        # new-disk-bottlenecked passes under the NLB makespan model
+        assert approach == "via-raid0"
+        assert t > 0
+
+    def test_custom_time_fn(self):
+        approach, t = best_time_for_code(
+            "rdp", 5, 6, load_balanced=False, time_fn=lambda plan: float(plan.total_ios)
+        )
+        assert t > 0
+
+    def test_unbuildable_width_raises(self):
+        with pytest.raises(ValueError):
+            best_time_for_code("xcode", 5, 6, load_balanced=False)

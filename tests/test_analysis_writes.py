@@ -1,0 +1,83 @@
+"""Partial-stripe write cost analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.writes import average_partial_write_cost, partial_write_cost
+from repro.codes import CODE_NAMES, get_code, get_layout
+
+
+class TestSingleWrite:
+    def test_optimal_codes_cost_six(self):
+        """w=1 on an update-optimal code: 2 data + 2x2 parity I/Os."""
+        for name in ("code56", "hcode", "xcode", "pcode"):
+            lay = get_layout(name, 7)
+            costs = {partial_write_cost(lay, s, 1).ios for s in range(lay.num_data)}
+            assert costs == {6}, name
+
+    def test_evenodd_adjuster_storm(self):
+        """Writing an S-diagonal cell of EVENODD touches p parities."""
+        lay = get_layout("evenodd", 5)
+        worst = max(partial_write_cost(lay, s, 1).ios for s in range(lay.num_data))
+        assert worst == 2 + 2 * 5  # data pair + p parity pairs
+
+    def test_hdp_penalty_three(self):
+        lay = get_layout("hdp", 7)
+        assert partial_write_cost(lay, 0, 1).ios == 2 + 2 * 3
+
+
+class TestPartialWrites:
+    def test_full_stripe_uses_reconstruct(self):
+        lay = get_layout("code56", 5)
+        cost = partial_write_cost(lay, 0, lay.num_data)
+        assert cost.uses_reconstruct
+        assert cost.ios == lay.num_data + lay.num_parity
+
+    def test_row_segment_shares_horizontal_parity(self):
+        """Two consecutive blocks in one Code 5-6 row touch ONE horizontal
+        parity plus two diagonals: 10 I/Os, not 12."""
+        lay = get_layout("code56", 7)
+        # data cells are row-major: cells 0 and 1 share row 0
+        cost = partial_write_cost(lay, 0, 2)
+        assert cost.parities_touched == 3
+        assert cost.rmw_ios == 2 * 2 + 2 * 3
+
+    def test_cost_monotone_in_length(self):
+        lay = get_layout("code56", 7)
+        costs = [average_partial_write_cost(lay, w) for w in range(1, lay.num_data + 1)]
+        assert all(b >= a for a, b in zip(costs, costs[1:]))
+
+    def test_reconstruct_bounds_everything(self):
+        for name in CODE_NAMES:
+            lay = get_layout(name, 5)
+            bound = lay.num_data + lay.num_parity
+            for w in range(1, lay.num_data + 1):
+                assert average_partial_write_cost(lay, w) <= bound
+
+    def test_validation(self):
+        lay = get_layout("code56", 5)
+        with pytest.raises(ValueError):
+            partial_write_cost(lay, -1, 1)
+        with pytest.raises(ValueError):
+            partial_write_cost(lay, 0, 99)
+        with pytest.raises(ValueError):
+            average_partial_write_cost(lay, 0)
+
+
+class TestAgainstRuntime:
+    def test_rmw_prediction_matches_raid6array(self, rng):
+        """The predicted w=1 RMW cost must equal the live array's I/Os."""
+        from repro.raid import BlockArray, Raid6Array
+
+        for name in ("code56", "rdp", "hdp"):
+            code = get_code(name, 5)
+            arr = BlockArray(code.n_disks, 2 * code.rows, block_size=8)
+            r6 = Raid6Array(arr, code)
+            r6.format_with(
+                rng.integers(0, 256, size=(r6.capacity_blocks, 8), dtype=np.uint8)
+            )
+            for lba in range(code.num_data):
+                arr.reset_counters()
+                measured = r6.write(lba, rng.integers(0, 256, 8, dtype=np.uint8))
+                predicted = partial_write_cost(code.layout, lba, 1).rmw_ios
+                assert measured == predicted, (name, lba)

@@ -1,0 +1,92 @@
+"""EVENODD baseline (Blaum et al., 1995)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.codes import ArrayCode, certify_mds, evenodd_layout, get_code
+from repro.codes.evenodd import adjuster_cells
+
+
+class TestGeometry:
+    def test_shape(self):
+        lay = evenodd_layout(5)
+        assert (lay.rows, lay.cols) == (4, 7)
+
+    def test_adjuster_is_diagonal_p_minus_1(self):
+        p = 5
+        cells = adjuster_cells(p)
+        assert all((r + c) % p == p - 1 for r, c in cells)
+        assert len(cells) == p - 1
+
+    def test_every_diagonal_chain_carries_the_adjuster(self):
+        p = 5
+        lay = evenodd_layout(p)
+        s = set(adjuster_cells(p))
+        for i in range(p - 1):
+            chain = lay.chain_of_parity[(i, p + 1)]
+            assert s <= set(chain.members)
+
+    def test_adjuster_update_penalty(self):
+        """Writing an S-diagonal cell dirties every diagonal parity: the
+        EVENODD small-write storm (penalty 1 + (p-1))."""
+        p = 5
+        lay = evenodd_layout(p)
+        for cell in adjuster_cells(p):
+            assert lay.update_penalty(cell) == p
+        # non-adjuster data cells are optimal
+        others = [c for c in lay.data_cells if c not in set(adjuster_cells(p))]
+        assert all(lay.update_penalty(c) == 2 for c in others)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("p", [5, 7, 11, 13])
+    def test_mds(self, p):
+        assert certify_mds(evenodd_layout(p)).is_mds
+
+    def test_roundtrip_all_pairs(self, rng, paper_p):
+        p = paper_p
+        code = get_code("evenodd", p)
+        data = rng.integers(0, 256, size=(code.num_data, 8), dtype=np.uint8)
+        stripe = code.make_stripe(data)
+        assert code.verify(stripe)
+        for f1, f2 in itertools.combinations(range(p + 2), 2):
+            broken = stripe.copy()
+            broken[:, f1, :] = 0
+            broken[:, f2, :] = 0
+            code.decode_columns(broken, f1, f2)
+            assert np.array_equal(broken, stripe)
+
+    def test_shortened_to_paper_width(self, rng):
+        """(EVENODD,4,6): one data column shortened."""
+        lay = evenodd_layout(5, virtual_cols=(4,))
+        assert lay.n_disks == 6
+        assert certify_mds(lay).is_mds
+        code = ArrayCode(lay)
+        data = rng.integers(0, 256, size=(lay.num_data, 8), dtype=np.uint8)
+        stripe = code.make_stripe(data)
+        assert code.verify(stripe)
+        broken = stripe.copy()
+        broken[:, 0, :] = 0
+        broken[:, 6, :] = 0
+        code.decode_columns(broken, 0, 6)
+        assert np.array_equal(broken, stripe)
+
+    def test_nonzero_adjuster_propagates(self, rng):
+        """When S != 0 every diagonal parity differs from the plain
+        diagonal XOR — the defining EVENODD behaviour."""
+        p = 5
+        code = get_code("evenodd", p)
+        data = np.zeros((code.num_data, 1), dtype=np.uint8)
+        # set exactly one S-diagonal cell to 1 -> S = 1
+        s_cell = adjuster_cells(p)[0]
+        idx = code.layout.data_cells.index(s_cell)
+        data[idx] = 1
+        stripe = code.make_stripe(data)
+        # all diagonal parities except the one whose plain diagonal holds
+        # the cell must equal S = 1
+        for i in range(p - 1):
+            val = int(stripe[i, p + 1, 0])
+            assert val in (0, 1)
+        assert sum(int(stripe[i, p + 1, 0]) for i in range(p - 1)) >= p - 2

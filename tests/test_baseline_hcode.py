@@ -1,0 +1,73 @@
+"""H-Code baseline (Wu et al., IPDPS'11)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.codes import certify_mds, get_code, hcode_layout
+from repro.codes.geometry import CellKind
+from repro.codes.hcode import anti_diagonal_parity_cell
+
+
+class TestGeometry:
+    def test_shape(self):
+        lay = hcode_layout(5)
+        assert (lay.rows, lay.cols) == (4, 6)
+
+    def test_dedicated_horizontal_column(self):
+        p = 7
+        lay = hcode_layout(p)
+        for i in range(p - 1):
+            assert lay.kind((i, p)) is CellKind.HORIZONTAL
+
+    def test_anti_parities_fill_one_antidiagonal(self):
+        p = 7
+        lay = hcode_layout(p)
+        for i in range(p - 1):
+            cell = anti_diagonal_parity_cell(p, i)
+            assert cell == (i, p - 1 - i)
+            assert (cell[0] + cell[1]) % p == p - 1
+            assert lay.kind(cell) is CellKind.DIAGONAL
+
+    def test_column_zero_is_parity_free(self):
+        p = 7
+        lay = hcode_layout(p)
+        assert all(lay.kind((r, 0)) is CellKind.DATA for r in range(p - 1))
+
+    def test_anti_chains_are_data_only(self):
+        p = 7
+        lay = hcode_layout(p)
+        for i in range(p - 1):
+            chain = lay.chain_of_parity[anti_diagonal_parity_cell(p, i)]
+            assert all(m not in lay.parity_cells for m in chain.members)
+            assert len(chain.members) == p - 1
+
+    def test_update_optimal(self):
+        """H-Code's claim: optimal update complexity everywhere."""
+        lay = hcode_layout(7)
+        assert all(lay.update_penalty(c) == 2 for c in lay.data_cells)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("p", [5, 7, 11, 13])
+    def test_mds(self, p):
+        assert certify_mds(hcode_layout(p)).is_mds
+
+    def test_roundtrip_all_pairs(self, rng, paper_p):
+        p = paper_p
+        code = get_code("hcode", p)
+        data = rng.integers(0, 256, size=(code.num_data, 8), dtype=np.uint8)
+        stripe = code.make_stripe(data)
+        assert code.verify(stripe)
+        for f1, f2 in itertools.combinations(range(p + 1), 2):
+            broken = stripe.copy()
+            broken[:, f1, :] = 0
+            broken[:, f2, :] = 0
+            code.decode_columns(broken, f1, f2)
+            assert np.array_equal(broken, stripe)
+
+    def test_shortening_only_column_zero(self):
+        assert certify_mds(hcode_layout(7, virtual_cols=(0,))).is_mds
+        with pytest.raises(ValueError):
+            hcode_layout(7, virtual_cols=(2,))

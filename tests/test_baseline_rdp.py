@@ -1,0 +1,85 @@
+"""RDP baseline (Corbett et al., FAST'04)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.codes import ArrayCode, CellKind, certify_mds, get_code, rdp_layout
+
+
+class TestGeometry:
+    def test_shape(self):
+        lay = rdp_layout(5)
+        assert (lay.rows, lay.cols) == (4, 6)
+
+    def test_parity_columns(self):
+        p = 5
+        lay = rdp_layout(p)
+        for i in range(p - 1):
+            assert lay.kind((i, p - 1)) is CellKind.HORIZONTAL
+            assert lay.kind((i, p)) is CellKind.DIAGONAL
+
+    def test_diagonal_includes_row_parity_column(self):
+        """RDP's signature: diagonals cover the row-parity column."""
+        p = 5
+        lay = rdp_layout(p)
+        touched = set()
+        for i in range(p - 1):
+            chain = lay.chain_of_parity[(i, p)]
+            touched.update(m for m in chain.members if m[1] == p - 1)
+        assert touched  # at least one row parity feeds a diagonal
+
+    def test_missing_diagonal(self):
+        """Diagonal p-1 has no parity — each diagonal chain covers p-1 cells."""
+        p = 7
+        lay = rdp_layout(p)
+        for i in range(p - 1):
+            assert len(lay.chain_of_parity[(i, p)].members) == p - 1
+
+    def test_update_penalty_profile(self):
+        """Data on the missing diagonal costs 2; elsewhere the row parity
+        ripples into one diagonal -> 3 (RDP's known non-optimal update)."""
+        lay = rdp_layout(5)
+        pens = {lay.update_penalty(c) for c in lay.data_cells}
+        assert pens == {2, 3}
+
+    def test_rejects_nonprime(self):
+        with pytest.raises(ValueError):
+            rdp_layout(9)
+
+    def test_virtual_must_be_data_column(self):
+        with pytest.raises(ValueError):
+            rdp_layout(5, virtual_cols=(4,))
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("p", [5, 7, 11, 13])
+    def test_mds(self, p):
+        assert certify_mds(rdp_layout(p)).is_mds
+
+    def test_roundtrip_all_pairs(self, rng, paper_p):
+        p = paper_p
+        code = get_code("rdp", p)
+        data = rng.integers(0, 256, size=(code.num_data, 8), dtype=np.uint8)
+        stripe = code.make_stripe(data)
+        assert code.verify(stripe)
+        for f1, f2 in itertools.combinations(range(p + 1), 2):
+            broken = stripe.copy()
+            broken[:, f1, :] = 0
+            broken[:, f2, :] = 0
+            code.decode_columns(broken, f1, f2)
+            assert np.array_equal(broken, stripe)
+
+    def test_shortened_still_mds(self):
+        lay = rdp_layout(7, virtual_cols=(4, 5))
+        report = certify_mds(lay)
+        assert report.is_mds
+        assert lay.n_disks == 6
+
+    def test_corrupted_stripe_fails_verify(self, rng):
+        code = get_code("rdp", 5)
+        data = rng.integers(0, 256, size=(code.num_data, 8), dtype=np.uint8)
+        stripe = code.make_stripe(data)
+        stripe[0, 0, 0] ^= 1
+        assert not code.verify(stripe)

@@ -1,0 +1,136 @@
+"""Vertical baselines: X-Code, P-Code, HDP."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.codes import certify_mds, get_code, hdp_layout, pcode_layout, xcode_layout
+from repro.codes.geometry import CellKind
+from repro.codes.pcode import pcode_cell_labels
+
+
+class TestXCode:
+    def test_shape_and_parity_rows(self):
+        p = 5
+        lay = xcode_layout(p)
+        assert (lay.rows, lay.cols) == (p, p)
+        for i in range(p):
+            assert lay.kind((p - 2, i)) is CellKind.DIAGONAL
+            assert lay.kind((p - 1, i)) is CellKind.DIAGONAL
+
+    def test_chain_lengths(self):
+        p = 7
+        lay = xcode_layout(p)
+        assert all(len(ch.members) == p - 2 for ch in lay.chains)
+
+    @pytest.mark.parametrize("p", [5, 7, 11, 13])
+    def test_mds(self, p):
+        assert certify_mds(xcode_layout(p)).is_mds
+
+    def test_update_optimal(self):
+        lay = xcode_layout(7)
+        assert all(lay.update_penalty(c) == 2 for c in lay.data_cells)
+
+    def test_roundtrip(self, rng, paper_p):
+        code = get_code("xcode", paper_p)
+        data = rng.integers(0, 256, size=(code.num_data, 8), dtype=np.uint8)
+        stripe = code.make_stripe(data)
+        for f1, f2 in itertools.combinations(range(paper_p), 2):
+            broken = stripe.copy()
+            broken[:, f1, :] = 0
+            broken[:, f2, :] = 0
+            code.decode_columns(broken, f1, f2)
+            assert np.array_equal(broken, stripe)
+
+    def test_rejects_nonprime(self):
+        with pytest.raises(ValueError):
+            xcode_layout(8)
+
+
+class TestPCode:
+    def test_shape(self):
+        lay = pcode_layout(7)
+        assert (lay.rows, lay.cols) == (3, 6)
+
+    def test_labels_are_valid_pairs(self):
+        p = 7
+        labels = pcode_cell_labels(p)
+        for (row, col), lab in labels.items():
+            a, b = sorted(lab)
+            assert 1 <= a < b <= p - 1
+            assert (a + b) % p == col + 1
+            assert row >= 1
+
+    def test_labels_unique_and_complete(self):
+        p = 11
+        labels = pcode_cell_labels(p)
+        assert len(set(labels.values())) == len(labels)
+        assert len(labels) == (p - 1) * (p - 3) // 2
+
+    def test_each_parity_chain_has_p_minus_3_members(self):
+        # labels containing j: {j, b} with b != j and b != p - j
+        p = 7
+        lay = pcode_layout(p)
+        assert all(len(ch.members) == p - 3 for ch in lay.chains)
+
+    @pytest.mark.parametrize("p", [5, 7, 11, 13])
+    def test_mds(self, p):
+        assert certify_mds(pcode_layout(p)).is_mds
+
+    def test_update_optimal(self):
+        lay = pcode_layout(7)
+        assert all(lay.update_penalty(c) == 2 for c in lay.data_cells)
+
+    def test_roundtrip(self, rng, paper_p):
+        code = get_code("pcode", paper_p)
+        data = rng.integers(0, 256, size=(code.num_data, 8), dtype=np.uint8)
+        stripe = code.make_stripe(data)
+        for f1, f2 in itertools.combinations(range(paper_p - 1), 2):
+            broken = stripe.copy()
+            broken[:, f1, :] = 0
+            broken[:, f2, :] = 0
+            code.decode_columns(broken, f1, f2)
+            assert np.array_equal(broken, stripe)
+
+
+class TestHDP:
+    def test_shape_and_parity_diagonals(self):
+        p = 7
+        lay = hdp_layout(p)
+        assert (lay.rows, lay.cols) == (p - 1, p - 1)
+        for i in range(p - 1):
+            assert lay.kind((i, i)) is CellKind.HORIZONTAL
+            assert lay.kind((i, p - 2 - i)) is CellKind.DIAGONAL
+
+    def test_anti_chains_protect_horizontal_parities(self):
+        """HDP's double-parity protection of horizontal parities."""
+        p = 7
+        lay = hdp_layout(p)
+        horiz = {(i, i) for i in range(p - 1)}
+        covered = set()
+        for i in range(p - 1):
+            chain = lay.chain_of_parity[(i, p - 2 - i)]
+            covered.update(m for m in chain.members if m in horiz)
+        assert covered  # anti-diagonal chains include horizontal parities
+
+    @pytest.mark.parametrize("p", [5, 7, 11, 13])
+    def test_mds(self, p):
+        assert certify_mds(hdp_layout(p)).is_mds
+
+    def test_update_penalty_is_three(self):
+        """A data write touches its row parity, its anti-diagonal parity,
+        and — through the row parity — one more anti-diagonal parity."""
+        lay = hdp_layout(7)
+        assert all(lay.update_penalty(c) == 3 for c in lay.data_cells)
+
+    def test_roundtrip(self, rng, paper_p):
+        code = get_code("hdp", paper_p)
+        data = rng.integers(0, 256, size=(code.num_data, 8), dtype=np.uint8)
+        stripe = code.make_stripe(data)
+        for f1, f2 in itertools.combinations(range(paper_p - 1), 2):
+            broken = stripe.copy()
+            broken[:, f1, :] = 0
+            broken[:, f2, :] = 0
+            code.decode_columns(broken, f1, f2)
+            assert np.array_equal(broken, stripe)

@@ -1,0 +1,105 @@
+"""BlockArray: storage, failure injection, I/O accounting."""
+
+import numpy as np
+import pytest
+
+from repro.raid import BlockArray, DiskFailure
+
+
+@pytest.fixture
+def arr():
+    return BlockArray(4, 8, block_size=16)
+
+
+class TestBasicIO:
+    def test_write_read_roundtrip(self, arr, rng):
+        payload = rng.integers(0, 256, 16, dtype=np.uint8)
+        arr.write(2, 3, payload)
+        assert np.array_equal(arr.read(2, 3), payload)
+
+    def test_read_returns_copy(self, arr, rng):
+        payload = rng.integers(0, 256, 16, dtype=np.uint8)
+        arr.write(0, 0, payload)
+        got = arr.read(0, 0)
+        got[0] ^= 0xFF
+        assert np.array_equal(arr.read(0, 0), payload)
+
+    def test_counters(self, arr, rng):
+        payload = rng.integers(0, 256, 16, dtype=np.uint8)
+        arr.write(1, 0, payload)
+        arr.write(1, 1, payload)
+        arr.read(1, 0)
+        arr.write_zero(3, 0)
+        assert arr.writes[1] == 2
+        assert arr.reads[1] == 1
+        assert arr.writes[3] == 1
+        assert arr.total_ios == 4
+        arr.reset_counters()
+        assert arr.total_ios == 0
+
+    def test_raw_and_snapshot_uncounted(self, arr):
+        arr.raw(0, 0)
+        arr.snapshot()
+        assert arr.total_ios == 0
+
+    def test_bounds(self, arr, rng):
+        payload = rng.integers(0, 256, 16, dtype=np.uint8)
+        with pytest.raises(IndexError):
+            arr.read(4, 0)
+        with pytest.raises(IndexError):
+            arr.read(0, 8)
+        with pytest.raises(ValueError):
+            arr.write(0, 0, payload[:8])
+
+    def test_write_zero(self, arr, rng):
+        arr.write(0, 0, rng.integers(0, 256, 16, dtype=np.uint8))
+        arr.write_zero(0, 0)
+        assert not arr.read(0, 0).any()
+
+
+class TestFailures:
+    def test_failed_disk_rejects_io(self, arr, rng):
+        arr.fail_disk(1)
+        with pytest.raises(DiskFailure):
+            arr.read(1, 0)
+        with pytest.raises(DiskFailure):
+            arr.write(1, 0, rng.integers(0, 256, 16, dtype=np.uint8))
+        assert arr.failed_disks == {1}
+
+    def test_replace_clears_contents(self, arr, rng):
+        arr.write(1, 0, rng.integers(1, 256, 16, dtype=np.uint8))
+        arr.fail_disk(1)
+        arr.replace_disk(1)
+        assert not arr.read(1, 0).any()
+        assert arr.failed_disks == frozenset()
+
+
+class TestTopology:
+    def test_add_disk(self, arr):
+        idx = arr.add_disk()
+        assert idx == 4
+        assert arr.n_disks == 5
+        assert not arr.read(4, 0).any()
+        assert arr.reads[4] == 1
+
+    def test_remove_disk(self, arr):
+        arr.add_disk()
+        arr.remove_disk()
+        assert arr.n_disks == 4
+
+    def test_remove_last_disk_rejected(self):
+        tiny = BlockArray(1, 2, 8)
+        with pytest.raises(ValueError):
+            tiny.remove_disk()
+
+    def test_counters_follow_topology(self, arr):
+        arr.add_disk()
+        assert len(arr.reads) == 5
+        arr.remove_disk()
+        assert len(arr.reads) == 4
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            BlockArray(0, 4, 8)
+        with pytest.raises(ValueError):
+            BlockArray(4, 0, 8)

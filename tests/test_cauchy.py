@@ -1,0 +1,100 @@
+"""Cauchy Reed-Solomon (k, m) baseline."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.codes.cauchy import CauchyReedSolomon
+
+
+@pytest.fixture
+def crs(rng):
+    code = CauchyReedSolomon(k=6, m=3)
+    stripe = code.empty_stripe(32)
+    stripe[:6] = rng.integers(0, 256, size=(6, 32), dtype=np.uint8)
+    code.encode(stripe)
+    return code, stripe
+
+
+class TestConstruction:
+    def test_matrix_entries_nonzero(self):
+        code = CauchyReedSolomon(k=10, m=4)
+        assert (code.matrix != 0).all()
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            CauchyReedSolomon(k=0, m=2)
+        with pytest.raises(ValueError):
+            CauchyReedSolomon(k=250, m=10)
+
+    def test_storage_efficiency(self):
+        assert CauchyReedSolomon(k=8, m=2).storage_efficiency() == pytest.approx(0.8)
+
+
+class TestCodec:
+    def test_verify(self, crs):
+        code, stripe = crs
+        assert code.verify(stripe)
+        stripe[0, 0] ^= 1
+        assert not code.verify(stripe)
+
+    def test_all_triple_erasures(self, crs):
+        code, stripe = crs
+        for lost in itertools.combinations(range(code.cols), 3):
+            broken = stripe.copy()
+            for c in lost:
+                broken[c] = 0xEE
+            code.decode(broken, lost)
+            assert np.array_equal(broken, stripe), lost
+
+    def test_fewer_erasures(self, crs):
+        code, stripe = crs
+        for lost in itertools.combinations(range(code.cols), 2):
+            broken = stripe.copy()
+            for c in lost:
+                broken[c] = 0
+            code.decode(broken, lost)
+            assert np.array_equal(broken, stripe)
+
+    def test_too_many_erasures_rejected(self, crs):
+        code, stripe = crs
+        with pytest.raises(ValueError):
+            code.decode(stripe, (0, 1, 2, 3))
+
+    def test_out_of_range_column(self, crs):
+        code, stripe = crs
+        with pytest.raises(ValueError):
+            code.decode(stripe, (99,))
+
+    def test_noop_decode(self, crs):
+        code, stripe = crs
+        before = stripe.copy()
+        code.decode(stripe, ())
+        assert np.array_equal(stripe, before)
+
+    def test_parity_only_loss_recomputes(self, crs):
+        code, stripe = crs
+        broken = stripe.copy()
+        broken[6] = 0
+        broken[8] = 0
+        code.decode(broken, (6, 8))
+        assert np.array_equal(broken, stripe)
+
+    @pytest.mark.parametrize("k,m", [(2, 1), (4, 2), (5, 4), (12, 3)])
+    def test_other_geometries(self, k, m, rng):
+        code = CauchyReedSolomon(k=k, m=m)
+        stripe = code.empty_stripe(8)
+        stripe[:k] = rng.integers(0, 256, size=(k, 8), dtype=np.uint8)
+        code.encode(stripe)
+        lost = tuple(range(min(m, k)))  # wipe the first data columns
+        broken = stripe.copy()
+        for c in lost:
+            broken[c] = 0
+        code.decode(broken, lost)
+        assert np.array_equal(broken, stripe)
+
+    def test_shape_check(self, crs):
+        code, _ = crs
+        with pytest.raises(ValueError):
+            code.encode(np.zeros((4, 8), dtype=np.uint8))

@@ -1,0 +1,96 @@
+"""Command-line interface."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    return main(list(argv))
+
+
+class TestInProcess:
+    def test_info(self, capsys):
+        assert run_cli("info", "--p", "7") == 0
+        out = capsys.readouterr().out
+        assert "code56" in out and "evenodd" in out
+
+    def test_layout(self, capsys):
+        assert run_cli("layout", "code56", "--p", "5") == 0
+        out = capsys.readouterr().out
+        assert "data cells: 12" in out
+
+    def test_layout_with_virtual(self, capsys):
+        assert run_cli("layout", "code56", "--p", "5", "--virtual", "0") == 0
+        out = capsys.readouterr().out
+        assert "data cells: 6" in out
+
+    def test_certify_pass(self, capsys):
+        assert run_cli("certify", "rdp", "--p", "5") == 0
+        assert "recoverable=True" in capsys.readouterr().out
+
+    def test_convert_verified(self, capsys):
+        assert run_cli("convert", "code56", "direct", "--p", "5") == 0
+        out = capsys.readouterr().out
+        assert "verified: True" in out
+        assert "total=1.333" in out
+
+    def test_convert_two_step(self, capsys):
+        assert run_cli("convert", "rdp", "via-raid4", "--p", "5") == 0
+        assert "verified: True" in capsys.readouterr().out
+
+    def test_recover(self, capsys):
+        assert run_cli("recover", "code56", "--p", "5", "--column", "1") == 0
+        assert "hybrid=9" in capsys.readouterr().out
+
+    def test_simulate_small(self, capsys):
+        assert run_cli("simulate", "--blocks", "1200", "--p", "5") == 0
+        out = capsys.readouterr().out
+        assert "direct(code56)" in out
+
+    def test_simulate_nlb(self, capsys):
+        assert run_cli("simulate", "--blocks", "1200", "--lb", "0") == 0
+        assert "NLB" in capsys.readouterr().out
+
+    def test_efficiency(self, capsys):
+        assert run_cli("efficiency", "--max-m", "8") == 0
+        out = capsys.readouterr().out
+        assert "penalty" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            run_cli("frobnicate")
+
+
+class TestSubprocess:
+    def test_python_dash_m(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "certify", "code56", "--p", "5"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "recoverable=True" in proc.stdout
+
+
+class TestScrubCommand:
+    def test_scrub_heals(self, capsys):
+        assert run_cli("scrub", "code56", "--p", "5", "--corruptions", "2") == 0
+        out = capsys.readouterr().out
+        assert "repaired" in out and "True" in out
+
+    def test_scrub_other_codes(self, capsys):
+        assert run_cli("scrub", "rdp", "--p", "5", "--corruptions", "1") == 0
+
+
+class TestCertifyTolerance:
+    def test_star_triple(self, capsys):
+        assert run_cli("certify", "star", "--p", "5", "--tolerance", "3") == 0
+        assert "recoverable=True" in capsys.readouterr().out
+
+    def test_raid6_code_fails_triple(self, capsys):
+        assert run_cli("certify", "rdp", "--p", "5", "--tolerance", "3") == 1

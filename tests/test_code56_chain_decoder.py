@@ -1,0 +1,118 @@
+"""Algorithm 1 (two recovery chains) vs the generic decoder."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.codes import apply_recovery_plan, code56_layout, get_code
+from repro.core.chain_decoder import (
+    plan_double_column_recovery,
+    recovery_chain_starting_points,
+)
+
+PRIMES = (5, 7, 11)
+
+
+class TestStartingPoints:
+    def test_paper_figure5_example(self):
+        # p=5, failures in columns 1 and 2: starts are A=(0,1) and E=(3,2)
+        assert recovery_chain_starting_points(5, 1, 2) == ((0, 1), (3, 2))
+
+    def test_starting_points_are_diagonally_recoverable(self):
+        # each start lies on the diagonal that misses the *other* column
+        for p in PRIMES:
+            for f1, f2 in itertools.combinations(range(p - 1), 2):
+                (r1, c1), (r2, c2) = recovery_chain_starting_points(p, f1, f2)
+                assert c1 == f1 and c2 == f2
+                # diagonal of start 1 misses column f2
+                d1 = (r1 + c1) % p
+                assert all((r + f2) % p != d1 for r in range(p - 1))
+                d2 = (r2 + c2) % p
+                assert all((r + f1) % p != d2 for r in range(p - 1))
+
+    def test_rejects_parity_column(self):
+        with pytest.raises(ValueError):
+            recovery_chain_starting_points(5, 1, 4)
+
+
+class TestChainDecoder:
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_all_double_failures(self, p, rng):
+        lay = code56_layout(p)
+        code = get_code("code56", p)
+        data = rng.integers(0, 256, size=(code.num_data, 8), dtype=np.uint8)
+        stripe = code.make_stripe(data)
+        for f1, f2 in itertools.combinations(range(p), 2):
+            plan = plan_double_column_recovery(lay, f1, f2)
+            broken = stripe.copy()
+            broken[:, f1, :] = 0
+            broken[:, f2, :] = 0
+            apply_recovery_plan(plan, broken)
+            assert np.array_equal(broken, stripe), (p, f1, f2)
+
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_single_failures(self, p, rng):
+        lay = code56_layout(p)
+        code = get_code("code56", p)
+        data = rng.integers(0, 256, size=(code.num_data, 8), dtype=np.uint8)
+        stripe = code.make_stripe(data)
+        for f in range(p):
+            plan = plan_double_column_recovery(lay, f)
+            broken = stripe.copy()
+            broken[:, f, :] = 0
+            apply_recovery_plan(plan, broken)
+            assert np.array_equal(broken, stripe)
+
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_optimal_decode_complexity(self, p):
+        """Every recovered element costs exactly p-3 XORs (Sec. III-E.2)."""
+        lay = code56_layout(p)
+        for f1, f2 in itertools.combinations(range(p), 2):
+            plan = plan_double_column_recovery(lay, f1, f2)
+            assert all(step.xor_count == p - 3 for step in plan.steps)
+            assert len(plan.steps) == 2 * (p - 1)
+
+    def test_order_insensitive(self):
+        lay = code56_layout(5)
+        a = plan_double_column_recovery(lay, 3, 1)
+        b = plan_double_column_recovery(lay, 1, 3)
+        assert a.lost == b.lost
+
+    def test_same_column_twice_is_single(self):
+        lay = code56_layout(5)
+        plan = plan_double_column_recovery(lay, 2, 2)
+        assert len(plan.lost) == 4  # one column only
+
+    def test_agrees_with_generic_decoder_on_values(self, rng):
+        p = 7
+        lay = code56_layout(p)
+        code = get_code("code56", p)
+        data = rng.integers(0, 256, size=(code.num_data, 16), dtype=np.uint8)
+        stripe = code.make_stripe(data)
+        for f1, f2 in itertools.combinations(range(p), 2):
+            via_chain = stripe.copy()
+            via_chain[:, f1, :] = 0
+            via_chain[:, f2, :] = 0
+            apply_recovery_plan(plan_double_column_recovery(lay, f1, f2), via_chain)
+            via_generic = stripe.copy()
+            via_generic[:, f1, :] = 0
+            via_generic[:, f2, :] = 0
+            apply_recovery_plan(code.plan_column_recovery(f1, f2), via_generic)
+            assert np.array_equal(via_chain, via_generic)
+
+    def test_rejects_other_codes(self):
+        from repro.codes import rdp_layout
+
+        with pytest.raises(ValueError):
+            plan_double_column_recovery(rdp_layout(5), 0, 1)
+
+    def test_rejects_shortened_layouts(self):
+        lay = code56_layout(5, virtual_cols=(0,))
+        with pytest.raises(ValueError):
+            plan_double_column_recovery(lay, 1, 2)
+
+    def test_rejects_out_of_range(self):
+        lay = code56_layout(5)
+        with pytest.raises(ValueError):
+            plan_double_column_recovery(lay, 0, 5)

@@ -1,0 +1,109 @@
+"""Code 5-6 geometry: the paper's Section III, checked cell by cell."""
+
+import pytest
+
+from repro.codes import CellKind, certify_mds, code56_layout, get_code
+from repro.codes.code56 import (
+    diagonal_chain_cells,
+    diagonal_of_cell,
+    horizontal_parity_cell,
+)
+
+SMALL_PRIMES = (5, 7, 11, 13)
+
+
+class TestPlacement:
+    def test_shape(self):
+        lay = code56_layout(5)
+        assert (lay.rows, lay.cols) == (4, 5)
+        assert lay.n_disks == 5
+
+    def test_horizontal_parities_on_antidiagonal(self):
+        p = 5
+        lay = code56_layout(p)
+        for i in range(p - 1):
+            cell = horizontal_parity_cell(p, i)
+            assert cell == (i, p - 2 - i)
+            assert lay.kind(cell) is CellKind.HORIZONTAL
+
+    def test_diagonal_column_is_last(self):
+        p = 7
+        lay = code56_layout(p)
+        for i in range(p - 1):
+            assert lay.kind((i, p - 1)) is CellKind.DIAGONAL
+
+    def test_data_count_is_mds_capacity(self):
+        for p in SMALL_PRIMES:
+            lay = code56_layout(p)
+            assert lay.num_data == (p - 1) * (p - 2)
+            assert lay.num_parity == 2 * (p - 1)
+
+    def test_rejects_nonprime(self):
+        with pytest.raises(ValueError):
+            code56_layout(6)
+
+    def test_rejects_tiny_prime(self):
+        with pytest.raises(ValueError):
+            code56_layout(3)
+
+
+class TestPaperEquations:
+    """The worked examples printed in Section III-A."""
+
+    def test_eq1_example(self):
+        # "C(0,3) can be calculated by C(0,0) ^ C(0,1) ^ C(0,2)"
+        lay = code56_layout(5)
+        chain = lay.chain_of_parity[(0, 3)]
+        assert set(chain.members) == {(0, 0), (0, 1), (0, 2)}
+
+    def test_eq2_example(self):
+        # "C(1,4) = C(0,0) ^ C(3,2) ^ C(2,3)"
+        lay = code56_layout(5)
+        chain = lay.chain_of_parity[(1, 4)]
+        assert set(chain.members) == {(0, 0), (3, 2), (2, 3)}
+
+    def test_every_diagonal_chain_has_p_minus_2_members(self):
+        for p in SMALL_PRIMES:
+            lay = code56_layout(p)
+            for i in range(p - 1):
+                chain = lay.chain_of_parity[(i, p - 1)]
+                assert len(chain.members) == p - 2
+
+    def test_diagonal_chains_cover_all_data_once(self):
+        for p in SMALL_PRIMES:
+            seen = []
+            for i in range(p - 1):
+                seen.extend(diagonal_chain_cells(p, i))
+            lay = code56_layout(p)
+            assert sorted(seen) == sorted(lay.data_cells)
+
+    def test_horizontal_antidiagonal_is_diagonal_p_minus_2(self):
+        for p in SMALL_PRIMES:
+            for i in range(p - 1):
+                assert diagonal_of_cell(p, horizontal_parity_cell(p, i)) == p - 2
+
+
+class TestOptimalProperties:
+    """Section III-E's four properties, measured not assumed."""
+
+    @pytest.mark.parametrize("p", SMALL_PRIMES)
+    def test_property_1_mds(self, p):
+        report = certify_mds(code56_layout(p))
+        assert report.is_mds
+        assert report.storage_optimal
+
+    @pytest.mark.parametrize("p", SMALL_PRIMES)
+    def test_property_2_encode_complexity(self, p):
+        # 2(p-1)(p-3) XORs per stripe == (2p-6)/(p-2) per data element
+        lay = code56_layout(p)
+        assert lay.xor_count_total() == 2 * (p - 1) * (p - 3)
+
+    @pytest.mark.parametrize("p", SMALL_PRIMES)
+    def test_property_3_single_write_optimal(self, p):
+        lay = code56_layout(p)
+        assert all(lay.update_penalty(c) == 2 for c in lay.data_cells)
+
+    @pytest.mark.parametrize("p", SMALL_PRIMES)
+    def test_storage_efficiency_is_mds_bound(self, p):
+        code = get_code("code56", p)
+        assert code.storage_efficiency() == pytest.approx((p - 2) / p)

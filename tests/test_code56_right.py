@@ -1,0 +1,85 @@
+"""The right-layout Code 5-6 variant (Section IV-B1, Figure 7)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.codes import ArrayCode, CellKind, certify_mds, get_code
+from repro.codes.code56 import code56_layout, code56_right_layout
+from repro.migration import build_plan, execute_plan, prepare_source_array, verify_conversion
+from repro.raid.layouts import Raid5Layout, parity_disk
+
+
+class TestGeometry:
+    def test_horizontal_parities_on_main_diagonal(self):
+        p = 7
+        lay = code56_right_layout(p)
+        for i in range(p - 1):
+            assert lay.kind((i, i)) is CellKind.HORIZONTAL
+
+    def test_matches_right_asymmetric_raid5(self):
+        """The defining alignment: parity of stripe i on disk i mod m."""
+        p = 7
+        m = p - 1
+        for i in range(m):
+            assert parity_disk(Raid5Layout.RIGHT_ASYMMETRIC, i, m) == i
+
+    def test_mirror_of_left_layout(self):
+        p = 5
+        left = code56_layout(p)
+        right = code56_right_layout(p)
+        # same counts, mirrored cells
+        assert right.num_data == left.num_data
+        mirrored = {
+            (r, p - 2 - c) if c != p - 1 else (r, c) for r, c in left.parity_cells
+        }
+        assert right.parity_cells == mirrored
+
+    @pytest.mark.parametrize("p", [5, 7, 11, 13])
+    def test_mds(self, p):
+        rep = certify_mds(code56_right_layout(p))
+        assert rep.is_mds and rep.storage_optimal
+
+    def test_optimal_properties_inherited(self):
+        p = 7
+        lay = code56_right_layout(p)
+        assert lay.xor_count_total() == 2 * (p - 1) * (p - 3)
+        assert all(lay.update_penalty(c) == 2 for c in lay.data_cells)
+
+    def test_virtual_columns_in_right_coordinates(self):
+        lay = code56_right_layout(5, virtual_cols=(3,))
+        assert (0, 3) in lay.virtual_cells
+        assert certify_mds(lay).is_mds
+        assert lay.num_data == 6  # same capacity as the left m=3 case
+
+
+class TestRoundtrip:
+    def test_all_double_erasures(self, rng, paper_p):
+        p = paper_p
+        code = get_code("code56-right", p)
+        data = rng.integers(0, 256, size=(code.num_data, 8), dtype=np.uint8)
+        stripe = code.make_stripe(data)
+        for f1, f2 in itertools.combinations(range(p), 2):
+            broken = stripe.copy()
+            broken[:, f1, :] = 0
+            broken[:, f2, :] = 0
+            code.decode_columns(broken, f1, f2)
+            assert np.array_equal(broken, stripe)
+
+
+class TestConversion:
+    @pytest.mark.parametrize("p,n", [(5, 5), (7, 7), (7, 6)])
+    def test_right_conversion_verifies(self, p, n, rng):
+        plan = build_plan("code56-right", "direct", p, groups=3, n_disks=n)
+        assert plan.source_layout is Raid5Layout.RIGHT_ASYMMETRIC
+        array, data = prepare_source_array(plan, rng)
+        result = execute_plan(plan, array, data)
+        assert verify_conversion(result, rng)
+
+    def test_same_cost_as_left(self):
+        left = build_plan("code56", "direct", 7, groups=2)
+        right = build_plan("code56-right", "direct", 7, groups=2)
+        assert left.read_ios == right.read_ios
+        assert left.write_ios == right.write_ios
+        assert left.xors == right.xors

@@ -1,0 +1,86 @@
+"""Virtual disks (Section IV-B2, Figure 8)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.codes import ArrayCode, certify_mds, code56_layout
+from repro.core.virtual import virtual_disk_plan
+
+
+class TestFigure8:
+    """m = 3 -> p = 5 with one virtual disk: the paper's worked example."""
+
+    def test_virtual_elements_match_paper(self):
+        lay = code56_layout(5, virtual_cols=(0,))
+        # "C(0,0), C(1,0), C(2,0), C(3,0), C(3,1), C(3,2) and C(3,3) are
+        #  virtual elements"
+        expected = {(0, 0), (1, 0), (2, 0), (3, 0), (3, 1), (3, 2), (3, 3)}
+        assert lay.virtual_cells == expected
+
+    def test_six_data_elements_remain(self):
+        lay = code56_layout(5, virtual_cols=(0,))
+        assert lay.num_data == 6  # Eq. 6's numerator m(m-1) = 3*2
+
+    def test_still_double_erasure_recoverable(self):
+        report = certify_mds(code56_layout(5, virtual_cols=(0,)))
+        assert report.is_mds
+        assert not report.storage_optimal  # virtual disks cost capacity
+
+    def test_roundtrip_and_recovery(self, rng):
+        lay = code56_layout(5, virtual_cols=(0,))
+        code = ArrayCode(lay)
+        data = rng.integers(0, 256, size=(lay.num_data, 8), dtype=np.uint8)
+        stripe = code.make_stripe(data)
+        assert code.verify(stripe)
+        for f1, f2 in itertools.combinations(lay.physical_cols, 2):
+            broken = stripe.copy()
+            broken[:, f1, :] = 0
+            broken[:, f2, :] = 0
+            code.decode_columns(broken, f1, f2)
+            assert np.array_equal(broken, stripe)
+
+
+class TestGeneralVirtual:
+    @pytest.mark.parametrize("p,v", [(7, 1), (7, 2), (11, 1), (11, 3)])
+    def test_mds_preserved(self, p, v):
+        report = certify_mds(code56_layout(p, virtual_cols=tuple(range(v))))
+        assert report.is_mds
+
+    def test_virtual_rows_hold_no_data(self):
+        p, v = 7, 2
+        lay = code56_layout(p, virtual_cols=(0, 1))
+        # rows whose horizontal parity is in cols 0..1 are rows p-2, p-3
+        for row in (p - 2, p - 3):
+            for col in range(p - 1):
+                assert (row, col) in lay.virtual_cells
+
+    def test_data_per_group_is_m_times_m_minus_1(self):
+        for m in (3, 5, 8, 9):
+            plan = virtual_disk_plan(m)
+            lay = plan.layout()
+            assert lay.num_data == m * (m - 1) == plan.data_per_group
+
+    def test_rejects_out_of_square_virtual(self):
+        with pytest.raises(ValueError):
+            code56_layout(5, virtual_cols=(4,))  # the diagonal column
+
+
+class TestVirtualDiskPlan:
+    def test_no_virtual_when_m_plus_1_prime(self):
+        for m in (4, 6, 10, 12):
+            plan = virtual_disk_plan(m)
+            assert not plan.needs_virtual
+            assert plan.p == m + 1
+
+    def test_virtual_when_needed(self):
+        plan = virtual_disk_plan(7)  # 8 not prime -> p = 11, v = 3
+        assert plan.p == 11
+        assert plan.v == 3
+        assert plan.virtual_cols == (0, 1, 2)
+        assert plan.needs_virtual
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            virtual_disk_plan(2)

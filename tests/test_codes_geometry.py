@@ -1,0 +1,113 @@
+"""Unit tests for the declarative stripe geometry."""
+
+import pytest
+
+from repro.codes.geometry import CellKind, ChainKind, CodeLayout, ParityChain
+
+
+def tiny_layout() -> CodeLayout:
+    """A 2x3 toy: one row-parity per row in column 2."""
+    chains = [
+        ParityChain(parity=(0, 2), members=((0, 0), (0, 1)), kind=ChainKind.HORIZONTAL),
+        ParityChain(parity=(1, 2), members=((1, 0), (1, 1)), kind=ChainKind.HORIZONTAL),
+    ]
+    return CodeLayout(name="toy", p=3, rows=2, cols=3, chains=chains)
+
+
+class TestParityChain:
+    def test_rejects_self_membership(self):
+        with pytest.raises(ValueError):
+            ParityChain(parity=(0, 0), members=((0, 0), (0, 1)), kind=ChainKind.HORIZONTAL)
+
+    def test_rejects_duplicate_members(self):
+        with pytest.raises(ValueError):
+            ParityChain(parity=(0, 2), members=((0, 0), (0, 0)), kind=ChainKind.HORIZONTAL)
+
+    def test_xor_count(self):
+        ch = ParityChain(parity=(0, 3), members=((0, 0), (0, 1), (0, 2)), kind=ChainKind.HORIZONTAL)
+        assert ch.xor_count == 2
+
+
+class TestCodeLayout:
+    def test_cells_partition(self):
+        lay = tiny_layout()
+        assert lay.parity_cells == {(0, 2), (1, 2)}
+        assert lay.data_cells == ((0, 0), (0, 1), (1, 0), (1, 1))
+        assert lay.num_data == 4
+        assert lay.num_parity == 2
+
+    def test_kind(self):
+        lay = tiny_layout()
+        assert lay.kind((0, 0)) is CellKind.DATA
+        assert lay.kind((0, 2)) is CellKind.HORIZONTAL
+
+    def test_out_of_bounds_cell_rejected(self):
+        with pytest.raises(ValueError):
+            CodeLayout(
+                name="bad", p=3, rows=2, cols=3,
+                chains=[ParityChain(parity=(0, 3), members=((0, 0),), kind=ChainKind.HORIZONTAL)],
+            )
+
+    def test_duplicate_parity_rejected(self):
+        ch = ParityChain(parity=(0, 2), members=((0, 0),), kind=ChainKind.HORIZONTAL)
+        ch2 = ParityChain(parity=(0, 2), members=((0, 1),), kind=ChainKind.DIAGONAL)
+        with pytest.raises(ValueError):
+            CodeLayout(name="bad", p=3, rows=2, cols=3, chains=[ch, ch2])
+
+    def test_virtual_cols(self):
+        lay = CodeLayout(
+            name="toy", p=3, rows=2, cols=3,
+            chains=[
+                ParityChain(parity=(0, 2), members=((0, 0), (0, 1)), kind=ChainKind.HORIZONTAL),
+                ParityChain(parity=(1, 2), members=((1, 0), (1, 1)), kind=ChainKind.HORIZONTAL),
+            ],
+            virtual_cols=frozenset({0}),
+        )
+        assert lay.kind((0, 0)) is CellKind.VIRTUAL
+        assert lay.data_cells == ((0, 1), (1, 1))
+        assert lay.physical_cols == (1, 2)
+        assert lay.n_disks == 2
+
+    def test_update_penalty(self):
+        lay = tiny_layout()
+        assert lay.update_penalty((0, 0)) == 1  # single row parity
+
+    def test_update_penalty_transitive(self):
+        # parity B includes parity A; a data write touching A touches B too
+        chains = [
+            ParityChain(parity=(0, 1), members=((0, 0),), kind=ChainKind.HORIZONTAL),
+            ParityChain(parity=(0, 2), members=((0, 1),), kind=ChainKind.DIAGONAL),
+        ]
+        lay = CodeLayout(name="chainy", p=3, rows=1, cols=3, chains=chains)
+        assert lay.update_penalty((0, 0)) == 2
+
+    def test_encode_order_resolves_dependencies(self):
+        chains = [
+            ParityChain(parity=(0, 2), members=((0, 1),), kind=ChainKind.DIAGONAL),
+            ParityChain(parity=(0, 1), members=((0, 0),), kind=ChainKind.HORIZONTAL),
+        ]
+        lay = CodeLayout(name="dep", p=3, rows=1, cols=3, chains=chains)
+        order = [c.parity for c in lay.encode_order]
+        assert order.index((0, 1)) < order.index((0, 2))
+
+    def test_encode_order_detects_cycles(self):
+        chains = [
+            ParityChain(parity=(0, 1), members=((0, 2),), kind=ChainKind.HORIZONTAL),
+            ParityChain(parity=(0, 2), members=((0, 1),), kind=ChainKind.DIAGONAL),
+        ]
+        lay = CodeLayout(name="cycle", p=3, rows=1, cols=3, chains=chains)
+        with pytest.raises(ValueError, match="cyclic"):
+            _ = lay.encode_order
+
+    def test_xor_count_total(self):
+        assert tiny_layout().xor_count_total() == 2  # two 2-member chains
+
+    def test_describe_renders_grid(self):
+        text = tiny_layout().describe()
+        assert "toy" in text
+        assert text.count("\n") == 2  # header + 2 rows
+
+    def test_chains_of_cell(self):
+        lay = tiny_layout()
+        assert len(lay.chains_of_cell[(0, 0)]) == 1
+        assert (0, 2) not in lay.chains_of_cell  # parity is a member of nothing

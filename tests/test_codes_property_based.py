@@ -1,0 +1,122 @@
+"""Property-based tests (hypothesis) on the code framework's invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import CODE_NAMES, apply_recovery_plan, get_code
+
+CODES = st.sampled_from(CODE_NAMES)
+PRIMES = st.sampled_from([5, 7])
+BLOCK_SIZES = st.sampled_from([1, 4, 16])
+
+
+def _payload(draw, code, block_size):
+    n = code.num_data * block_size
+    raw = draw(st.binary(min_size=n, max_size=n))
+    return np.frombuffer(raw, dtype=np.uint8).reshape(code.num_data, block_size).copy()
+
+
+@st.composite
+def code_and_stripe(draw):
+    name = draw(CODES)
+    p = draw(PRIMES)
+    bs = draw(BLOCK_SIZES)
+    code = get_code(name, p)
+    data = _payload(draw, code, bs)
+    return code, data
+
+
+@given(code_and_stripe())
+@settings(max_examples=60, deadline=None)
+def test_encode_then_verify(cs):
+    """Any payload encodes to a parity-consistent stripe."""
+    code, data = cs
+    stripe = code.make_stripe(data)
+    assert code.verify(stripe)
+
+
+@given(code_and_stripe())
+@settings(max_examples=60, deadline=None)
+def test_extract_data_roundtrip(cs):
+    code, data = cs
+    stripe = code.make_stripe(data)
+    assert np.array_equal(code.extract_data(stripe), data)
+
+
+@given(code_and_stripe(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_double_erasure_roundtrip(cs, data_strategy):
+    """Any two failed disks are always fully recoverable."""
+    code, data = cs
+    cols = code.layout.physical_cols
+    idx = data_strategy.draw(
+        st.lists(st.integers(0, len(cols) - 1), min_size=2, max_size=2, unique=True)
+    )
+    f1, f2 = cols[idx[0]], cols[idx[1]]
+    stripe = code.make_stripe(data)
+    broken = stripe.copy()
+    broken[:, f1, :] = 0
+    broken[:, f2, :] = 0
+    code.decode_columns(broken, f1, f2)
+    assert np.array_equal(broken, stripe)
+
+
+@given(code_and_stripe(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_delta_update_equals_reencode(cs, data_strategy):
+    """update_block's delta path must equal a full re-encode."""
+    code, data = cs
+    stripe = code.make_stripe(data)
+    i = data_strategy.draw(st.integers(0, code.num_data - 1))
+    cell = code.layout.data_cells[i]
+    bs = data.shape[1]
+    raw = data_strategy.draw(st.binary(min_size=bs, max_size=bs))
+    new_val = np.frombuffer(raw, dtype=np.uint8).copy()
+    touched = code.update_block(stripe, cell, new_val)
+    assert touched == code.layout.update_penalty(cell)
+    # full re-encode of the mutated data must give the identical stripe
+    data2 = data.copy()
+    data2[i] = new_val
+    assert np.array_equal(stripe, code.make_stripe(data2))
+
+
+@given(code_and_stripe(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_random_cell_erasures_recoverable(cs, data_strategy):
+    """Any loss pattern confined to at most two columns is recoverable."""
+    code, data = cs
+    cols = code.layout.physical_cols
+    idx = data_strategy.draw(
+        st.lists(st.integers(0, len(cols) - 1), min_size=2, max_size=2, unique=True)
+    )
+    chosen = [cols[idx[0]], cols[idx[1]]]
+    candidates = [
+        (r, c)
+        for c in chosen
+        for r in range(code.rows)
+        if (r, c) not in code.layout.virtual_cells
+    ]
+    k = data_strategy.draw(st.integers(1, len(candidates)))
+    lost = tuple(candidates[:k])
+    stripe = code.make_stripe(data)
+    broken = stripe.copy()
+    for r, c in lost:
+        broken[r, c, :] = 0
+    plan = code.plan_cell_recovery(lost)
+    apply_recovery_plan(plan, broken)
+    assert np.array_equal(broken, stripe)
+
+
+@given(st.sampled_from([5, 7]), st.integers(2, 5), BLOCK_SIZES, st.data())
+@settings(max_examples=30, deadline=None)
+def test_batched_encode_equals_per_stripe(p, batch, bs, data_strategy):
+    """Encoding a batch must equal stripe-by-stripe encoding."""
+    code = get_code("code56", p)
+    n = batch * code.num_data * bs
+    raw = data_strategy.draw(st.binary(min_size=n, max_size=n))
+    data = np.frombuffer(raw, dtype=np.uint8).reshape(batch, code.num_data, bs).copy()
+    batched = code.make_stripe(data)
+    for b in range(batch):
+        single = code.make_stripe(data[b])
+        assert np.array_equal(batched[b], single)

@@ -1,0 +1,87 @@
+"""Registry factory and MDS certifier."""
+
+import pytest
+
+from repro.codes import (
+    CODE_CATALOG,
+    CODE_NAMES,
+    certify_mds,
+    check_double_erasures,
+    disks_for,
+    get_code,
+    get_layout,
+)
+from repro.codes.geometry import ChainKind, CodeLayout, ParityChain
+
+
+class TestRegistry:
+    def test_all_paper_codes_present(self):
+        assert set(CODE_NAMES) == {
+            "code56", "rdp", "evenodd", "hcode", "xcode", "pcode", "hdp",
+        }
+        assert set(CODE_NAMES) <= set(CODE_CATALOG)
+
+    def test_unknown_code(self):
+        with pytest.raises(KeyError):
+            get_layout("nope", 5)
+
+    def test_disks_for(self):
+        assert disks_for("code56", 5) == 5
+        assert disks_for("rdp", 5) == 6
+        assert disks_for("evenodd", 5) == 7
+        assert disks_for("hcode", 5) == 6
+        assert disks_for("xcode", 5) == 5
+        assert disks_for("pcode", 5) == 4
+        assert disks_for("hdp", 5) == 4
+
+    def test_catalog_disks_match_layouts(self):
+        for name in CODE_NAMES:
+            assert get_layout(name, 7).n_disks == disks_for(name, 7)
+
+    def test_shorten_guard(self):
+        with pytest.raises(ValueError):
+            get_layout("xcode", 5, virtual_cols=(0,))
+
+    def test_get_code_wraps_layout(self):
+        code = get_code("rdp", 5)
+        assert code.name == "rdp"
+        assert code.p == 5
+
+
+class TestCertifier:
+    def test_all_codes_certify(self, paper_p):
+        for name in CODE_NAMES:
+            report = certify_mds(get_layout(name, paper_p))
+            assert bool(report), (name, paper_p, report.failed_pairs)
+
+    def test_broken_layout_detected(self):
+        """A single-parity 'RAID-5' layout is not double-erasure safe."""
+        p = 5
+        chains = [
+            ParityChain(
+                parity=(i, p - 1),
+                members=tuple((i, j) for j in range(p - 1)),
+                kind=ChainKind.HORIZONTAL,
+            )
+            for i in range(p - 1)
+        ]
+        lay = CodeLayout(name="raid5ish", p=p, rows=p - 1, cols=p, chains=chains)
+        failures = check_double_erasures(lay)
+        assert failures  # every data-column pair is unrecoverable
+        report = certify_mds(lay)
+        assert not report.is_mds
+        assert not bool(report)
+
+    def test_report_records_failed_pairs(self):
+        p = 5
+        chains = [
+            ParityChain(
+                parity=(i, p - 1),
+                members=tuple((i, j) for j in range(p - 1)),
+                kind=ChainKind.HORIZONTAL,
+            )
+            for i in range(p - 1)
+        ]
+        lay = CodeLayout(name="raid5ish", p=p, rows=p - 1, cols=p, chains=chains)
+        report = certify_mds(lay)
+        assert (0, 1) in report.failed_pairs

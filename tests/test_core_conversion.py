@@ -1,0 +1,125 @@
+"""High-level migration API: upgrade, downgrade, migrator facade."""
+
+import numpy as np
+import pytest
+
+from repro.codes import get_code
+from repro.core import Code56Migrator, downgrade_to_raid5, upgrade_to_raid6
+from repro.migration import OnlineRequest
+from repro.raid import BlockArray, Raid5Array, Raid5Layout, Raid6Array
+
+
+class TestUpgrade:
+    @pytest.mark.parametrize("m", [3, 4, 5, 6, 7, 10, 12])
+    def test_any_width_verifies(self, m):
+        outcome = upgrade_to_raid6(m, groups=2)
+        assert outcome.verified, outcome.summary
+
+    def test_caller_data_respected(self, rng):
+        m, groups = 4, 3
+        # B for m=4, p=5: groups * m * (m-1) = 36
+        data = rng.integers(0, 256, size=(groups * m * (m - 1), 16), dtype=np.uint8)
+        outcome = upgrade_to_raid6(m, groups=groups, data=data)
+        assert outcome.verified
+        assert np.array_equal(outcome.result.data, data)
+
+    def test_wrong_data_shape_rejected(self, rng):
+        with pytest.raises(ValueError):
+            upgrade_to_raid6(4, groups=2, data=np.zeros((5, 16), dtype=np.uint8))
+
+    def test_io_is_b_plus_parity(self):
+        outcome = upgrade_to_raid6(4, groups=4)
+        b = outcome.plan.data_blocks
+        assert outcome.result.measured_reads == b
+        assert outcome.result.measured_writes == b // 3
+
+
+class TestDowngrade:
+    def _make_raid6(self, rng, p=5, groups=3, bs=8):
+        code = get_code("code56", p)
+        array = BlockArray(p, groups * (p - 1), block_size=bs)
+        r6 = Raid6Array(array, code)
+        data = rng.integers(0, 256, size=(r6.capacity_blocks, bs), dtype=np.uint8)
+        r6.format_with(data)
+        return array, data
+
+    def test_downgrade_preserves_data(self, rng):
+        array, data = self._make_raid6(rng)
+        r5 = downgrade_to_raid5(array, 5)
+        assert r5.verify()
+        for lba in range(r5.capacity_blocks):
+            assert np.array_equal(r5.read(lba), data[lba])
+
+    def test_downgrade_needs_zero_io(self, rng):
+        array, _ = self._make_raid6(rng)
+        array.reset_counters()
+        downgrade_to_raid5(array, 5)
+        assert array.total_ios == 0
+
+    def test_refuses_inconsistent_array(self, rng):
+        array, _ = self._make_raid6(rng)
+        array.raw(0, 0)[0] ^= 1
+        with pytest.raises(ValueError):
+            downgrade_to_raid5(array, 5)
+
+    def test_refuses_wrong_width(self, rng):
+        array, _ = self._make_raid6(rng)
+        array.add_disk()
+        with pytest.raises(ValueError):
+            downgrade_to_raid5(array, 5)
+
+
+class TestMigratorFacade:
+    def _fresh_raid5(self, rng, p=5, groups=4, bs=8):
+        m = p - 1
+        array = BlockArray(m, groups * (p - 1), block_size=bs)
+        r5 = Raid5Array(array, Raid5Layout.LEFT_ASYMMETRIC)
+        data = rng.integers(0, 256, size=(r5.capacity_blocks, bs), dtype=np.uint8)
+        r5.format_with(data)
+        return array, data
+
+    def test_full_cycle(self, rng):
+        array, data = self._fresh_raid5(rng)
+        mig = Code56Migrator(array, 5)
+        mig.check_source()
+        disk = mig.add_parity_disk()
+        assert disk == 4
+        report = mig.convert_online([])
+        assert report.parities_generated == 16
+        r6 = mig.as_raid6()
+        assert r6.verify()
+        r5 = mig.revert()
+        assert r5.verify()
+        for lba in range(r5.capacity_blocks):
+            assert np.array_equal(r5.read(lba), data[lba])
+
+    def test_check_source_catches_corruption(self, rng):
+        array, _ = self._fresh_raid5(rng)
+        array.raw(0, 0)[0] ^= 1
+        mig = Code56Migrator(array, 5)
+        with pytest.raises(ValueError):
+            mig.check_source()
+
+    def test_add_parity_disk_idempotent(self, rng):
+        array, _ = self._fresh_raid5(rng)
+        mig = Code56Migrator(array, 5)
+        assert mig.add_parity_disk() == 4
+        assert mig.add_parity_disk() == 4
+        assert array.n_disks == 5
+
+    def test_online_with_writes_end_state(self, rng):
+        array, data = self._fresh_raid5(rng, groups=6)
+        truth = data.copy()
+        mig = Code56Migrator(array, 5)
+        mig.add_parity_disk()
+        reqs = []
+        for t in (2.0, 40.0, 90.0, 1e6):
+            lba = int(rng.integers(0, len(truth)))
+            payload = rng.integers(0, 256, size=8, dtype=np.uint8)
+            truth[lba] = payload
+            reqs.append(OnlineRequest(time=t, lba=lba, is_write=True, payload=payload))
+        mig.convert_online(reqs)
+        r6 = mig.as_raid6()
+        assert r6.verify()
+        for lba in range(r6.capacity_blocks):
+            assert np.array_equal(r6.read(lba), truth[lba])

@@ -1,0 +1,129 @@
+"""End-to-end conversion execution and verification."""
+
+import numpy as np
+import pytest
+
+from repro.migration import (
+    build_plan,
+    execute_plan,
+    prepare_source_array,
+    supported_conversions,
+    verify_conversion,
+)
+from repro.migration.approaches import alignment_cycle
+from repro.raid import Raid5Array
+
+
+@pytest.mark.parametrize("code,approach", supported_conversions())
+def test_every_conversion_verifies(code, approach, paper_p, rng):
+    plan = build_plan(code, approach, paper_p, groups=alignment_cycle(code, paper_p))
+    array, data = prepare_source_array(plan, rng)
+    result = execute_plan(plan, array, data)
+    assert verify_conversion(result, rng), plan.describe()
+
+
+@pytest.mark.parametrize(
+    "code,approach,p,n",
+    [
+        ("code56", "direct", 7, 6),   # one virtual disk
+        ("code56", "direct", 7, 5),   # two virtual disks
+        ("code56", "direct", 11, 9),
+        ("rdp", "via-raid0", 7, 6),
+        ("rdp", "via-raid4", 7, 7),
+        ("evenodd", "via-raid0", 5, 6),
+        ("evenodd", "via-raid4", 5, 6),
+        ("hcode", "via-raid0", 7, 7),
+        ("hcode", "via-raid4", 7, 7),
+    ],
+)
+def test_shortened_conversions_verify(code, approach, p, n, rng):
+    plan = build_plan(code, approach, p, groups=alignment_cycle(code, p, n) * 2, n_disks=n)
+    array, data = prepare_source_array(plan, rng)
+    result = execute_plan(plan, array, data)
+    assert verify_conversion(result, rng), plan.describe()
+
+
+class TestSourcePreparation:
+    def test_source_is_consistent_raid5(self, rng):
+        plan = build_plan("code56", "direct", 5, groups=3)
+        array, data = prepare_source_array(plan, rng)
+        r5 = Raid5Array(array, plan.source_layout, n_disks=plan.m)
+        assert r5.verify()
+        for lba in range(plan.data_blocks):
+            assert np.array_equal(r5.read(lba), data[lba])
+
+    def test_new_disks_start_blank(self, rng):
+        plan = build_plan("rdp", "via-raid0", 5, groups=2)
+        array, _ = prepare_source_array(plan, rng)
+        for d in plan.new_disks:
+            for b in range(array.blocks_per_disk):
+                assert not array.raw(d, b).any()
+
+    def test_counters_zeroed(self, rng):
+        plan = build_plan("code56", "direct", 5, groups=2)
+        array, _ = prepare_source_array(plan, rng)
+        assert array.total_ios == 0
+
+
+class TestMeasuredEqualsPlanned:
+    @pytest.mark.parametrize("code,approach", supported_conversions())
+    def test_io_counters(self, code, approach, rng):
+        p = 5
+        plan = build_plan(code, approach, p, groups=alignment_cycle(code, p))
+        array, data = prepare_source_array(plan, rng)
+        result = execute_plan(plan, array, data)
+        assert result.measured_reads == plan.read_ios
+        assert result.measured_writes == plan.write_ios
+
+    def test_per_disk_distribution_matches(self, rng):
+        plan = build_plan("code56", "direct", 5, groups=4)
+        array, data = prepare_source_array(plan, rng)
+        execute_plan(plan, array, data)
+        measured = array.reads + array.writes
+        assert np.array_equal(measured, plan.per_disk_ios())
+
+
+class TestOldParityValidity:
+    """The engine asserts that parities the plan reuses are recomputable
+    to the same value; corrupting one before conversion must explode."""
+
+    def test_code56_detects_invalid_old_parity(self, rng):
+        plan = build_plan("code56", "direct", 5, groups=2)
+        array, data = prepare_source_array(plan, rng)
+        # corrupt one RAID-5 parity (horizontal parity of group 0, row 0)
+        from repro.raid.layouts import parity_disk
+
+        pd = parity_disk(plan.source_layout, 0, plan.m)
+        array.raw(pd, 0)[0] ^= 1
+        with pytest.raises(AssertionError):
+            execute_plan(plan, array, data)
+
+    def test_via_raid4_detects_invalid_migrated_parity(self, rng):
+        plan = build_plan("rdp", "via-raid4", 5, groups=2)
+        array, data = prepare_source_array(plan, rng)
+        from repro.raid.layouts import parity_disk
+
+        pd = parity_disk(plan.source_layout, 1, plan.m)
+        array.raw(pd, 1)[0] ^= 1
+        with pytest.raises(AssertionError):
+            execute_plan(plan, array, data)
+
+
+class TestVerificationCatchesDamage:
+    def test_post_conversion_corruption_detected(self, rng):
+        plan = build_plan("code56", "direct", 5, groups=2)
+        array, data = prepare_source_array(plan, rng)
+        result = execute_plan(plan, array, data)
+        array.raw(0, 0)[0] ^= 1
+        assert not verify_conversion(result, rng)
+
+    def test_miscounted_io_detected(self, rng):
+        plan = build_plan("code56", "direct", 5, groups=2)
+        array, data = prepare_source_array(plan, rng)
+        result = execute_plan(plan, array, data)
+        array.read(0, 0)  # extra unplanned I/O
+        result2 = type(result)(
+            array=array, plan=plan, data=data,
+            measured_reads=array.total_reads, measured_writes=array.total_writes,
+        )
+        assert not verify_conversion(result2, rng)

@@ -1,0 +1,140 @@
+"""Conversion plan structure and accounting invariants."""
+
+import pytest
+
+from repro.migration import build_plan, supported_conversions
+from repro.migration.approaches import (
+    alignment_cycle,
+    canonical_disks,
+    conversions_for_n,
+)
+from repro.migration.ops import OpKind, Purpose
+
+
+class TestBuildPlanValidation:
+    def test_rejects_nonprime(self):
+        with pytest.raises(ValueError):
+            build_plan("code56", "direct", 6)
+
+    def test_rejects_unknown_approach(self):
+        with pytest.raises(ValueError):
+            build_plan("code56", "sideways", 5)
+
+    def test_rejects_unsupported_pairing(self):
+        with pytest.raises(ValueError):
+            build_plan("code56", "via-raid0", 5)
+        with pytest.raises(ValueError):
+            build_plan("rdp", "direct", 5)
+
+    def test_rejects_zero_groups(self):
+        with pytest.raises(ValueError):
+            build_plan("code56", "direct", 5, groups=0)
+
+    def test_rejects_unshortenable_width(self):
+        with pytest.raises(ValueError):
+            build_plan("xcode", "direct", 5, n_disks=4)
+        with pytest.raises(ValueError):
+            build_plan("hcode", "via-raid0", 5, n_disks=4)
+
+    def test_supported_matrix(self):
+        pairs = supported_conversions()
+        assert ("code56", "direct") in pairs
+        assert ("rdp", "via-raid0") in pairs
+        assert ("rdp", "via-raid4") in pairs
+        assert ("hdp", "direct") in pairs
+        assert ("code56-right", "direct") in pairs
+        assert len(pairs) == 11
+
+
+class TestAccountingInvariants:
+    @pytest.mark.parametrize("code,approach", supported_conversions())
+    def test_ops_match_tallies(self, code, approach, paper_p):
+        plan = build_plan(code, approach, paper_p, groups=alignment_cycle(code, paper_p))
+        reads = sum(1 for op in plan.ops if op.kind is OpKind.READ)
+        writes = sum(1 for op in plan.ops if op.kind is OpKind.WRITE)
+        assert reads == plan.read_ios
+        assert writes == plan.write_ios
+        assert plan.total_ios == reads + writes
+
+    @pytest.mark.parametrize("code,approach", supported_conversions())
+    def test_per_disk_sums_to_total(self, code, approach, paper_p):
+        plan = build_plan(code, approach, paper_p, groups=alignment_cycle(code, paper_p))
+        assert plan.per_disk_ios().sum() == plan.total_ios
+
+    @pytest.mark.parametrize("code,approach", supported_conversions())
+    def test_new_parities_counted_as_writes(self, code, approach, paper_p):
+        plan = build_plan(code, approach, paper_p, groups=alignment_cycle(code, paper_p))
+        parity_writes = sum(
+            1 for op in plan.ops
+            if op.kind is OpKind.WRITE and op.purpose is Purpose.NEW_PARITY_WRITE
+        )
+        assert parity_writes == plan.new_parities
+
+    @pytest.mark.parametrize("code,approach", supported_conversions())
+    def test_data_locations_cover_all_lbas(self, code, approach, paper_p):
+        plan = build_plan(code, approach, paper_p, groups=alignment_cycle(code, paper_p))
+        assert set(plan.data_locations) == set(range(plan.data_blocks))
+        # every mapped cell is physical and unique
+        targets = list(plan.data_locations.values())
+        assert len(set(targets)) == len(targets)
+        for g, cell in targets:
+            assert (g, cell) in plan.cell_locations
+
+    def test_two_step_plans_have_two_phases(self):
+        plan = build_plan("rdp", "via-raid4", 5)
+        assert plan.phases == (0, 1)
+        plan = build_plan("code56", "direct", 5)
+        assert plan.phases == (0,)
+
+    def test_trims_are_not_io(self):
+        plan = build_plan("rdp", "via-raid4", 5)
+        trims = [op for op in plan.ops if op.kind is OpKind.TRIM]
+        assert trims
+        assert all(not op.is_io for op in trims)
+
+
+class TestHeadlineAccounting:
+    """The worked example of Section V-A for Code 5-6 (p=5, 4->5 disks)."""
+
+    def test_code56_exact_numbers(self):
+        plan = build_plan("code56", "direct", 5, groups=1)
+        b = plan.data_blocks
+        assert b == 12
+        assert plan.read_ios == b  # read every data block once
+        assert plan.write_ios == b // 3  # B/3 diagonal parities
+        assert plan.total_ios == 4 * b // 3  # 4B/3
+        assert plan.invalid_parities == 0
+        assert plan.migrated_parities == 0
+        assert plan.new_parities == 4
+        assert plan.extra_blocks_per_disk == 0
+
+    def test_code56_writes_confined_to_new_disk(self):
+        plan = build_plan("code56", "direct", 5, groups=2)
+        for op in plan.ops:
+            if op.kind is OpKind.WRITE:
+                assert op.disk == 4  # only the hot-added disk is written
+
+
+class TestWidthSelection:
+    def test_canonical_disks(self):
+        assert canonical_disks("code56", 5) == 5
+        assert canonical_disks("evenodd", 5) == 7
+        assert canonical_disks("pcode", 7) == 6
+
+    def test_conversions_for_n_matches_paper_table_iv(self):
+        at5 = {c for c, _a, _p in conversions_for_n(5)}
+        assert "xcode" in at5 and "code56" in at5
+        assert "pcode" not in at5 and "hdp" not in at5  # no prime fits
+        at6 = {c for c, _a, _p in conversions_for_n(6)}
+        assert {"rdp", "evenodd", "hcode", "pcode", "hdp", "code56"} <= at6
+        assert "xcode" not in at6
+        at7 = {c for c, _a, _p in conversions_for_n(7)}
+        assert "xcode" in at7 and "rdp" in at7
+
+    def test_alignment_cycle_values(self):
+        assert alignment_cycle("code56", 5) == 1
+        assert alignment_cycle("rdp", 5) == 1
+        assert alignment_cycle("xcode", 5) == 5
+        assert alignment_cycle("hdp", 5) == 2
+        assert alignment_cycle("evenodd", 5) == 5  # canonical m=p
+        assert alignment_cycle("evenodd", 5, n_disks=6) == 1  # shortened m=4

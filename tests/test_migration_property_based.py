@@ -1,0 +1,86 @@
+"""Property-based tests over the migration machinery (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import metrics_from_plan
+from repro.migration import (
+    build_plan,
+    execute_plan,
+    prepare_source_array,
+    supported_conversions,
+    verify_conversion,
+)
+from repro.migration.approaches import _resolve_width, alignment_cycle
+
+PAIRS = st.sampled_from(supported_conversions())
+PRIMES = st.sampled_from([5, 7])
+
+
+@st.composite
+def conversion_config(draw):
+    code, approach = draw(PAIRS)
+    p = draw(PRIMES)
+    canonical = _resolve_width(code, p, None)
+    if code in ("code56", "code56-right"):
+        n = draw(st.integers(4, canonical))
+    elif code in ("rdp", "evenodd"):
+        n = draw(st.integers(5, canonical))
+    elif code == "hcode":
+        n = draw(st.sampled_from([p, p + 1]))
+    else:
+        n = canonical
+    groups = draw(st.integers(1, 3)) * alignment_cycle(code, p, n)
+    return code, approach, p, n, groups
+
+
+@given(conversion_config(), st.integers(0, 2**32 - 1))
+@settings(max_examples=25, deadline=None)
+def test_any_configuration_converts_and_verifies(cfg, seed):
+    """Every buildable (code, approach, p, n, groups) conversion must
+    execute on a real array and pass the full audit."""
+    code, approach, p, n, groups = cfg
+    plan = build_plan(code, approach, p, groups=groups, n_disks=n)
+    rng = np.random.default_rng(seed)
+    array, data = prepare_source_array(plan, rng, block_size=4)
+    result = execute_plan(plan, array, data)
+    assert verify_conversion(result, rng), plan.describe()
+
+
+@given(conversion_config())
+@settings(max_examples=30, deadline=None)
+def test_metrics_are_group_invariant(cfg):
+    """Per-B metrics must not depend on how many alignment cycles run."""
+    code, approach, p, n, groups = cfg
+    cycle = alignment_cycle(code, p, n)
+    a = metrics_from_plan(build_plan(code, approach, p, groups=cycle, n_disks=n))
+    b = metrics_from_plan(build_plan(code, approach, p, groups=2 * cycle, n_disks=n))
+    for field in (
+        "invalid_parity_ratio",
+        "migration_ratio",
+        "new_parity_ratio",
+        "computation_cost",
+        "write_ios",
+        "total_ios",
+    ):
+        assert abs(getattr(a, field) - getattr(b, field)) < 1e-12, field
+
+
+@given(conversion_config())
+@settings(max_examples=30, deadline=None)
+def test_plan_invariants(cfg):
+    """Structural truths every plan must satisfy."""
+    code, approach, p, n, groups = cfg
+    plan = build_plan(code, approach, p, groups=groups, n_disks=n)
+    # parity-operation conservation: every old parity is reused,
+    # invalidated, or migrated — never double-counted
+    old_parities = plan.data_blocks // (plan.m - 1)
+    assert plan.invalid_parities + plan.migrated_parities <= old_parities
+    # writes >= new parities (plus invalidation/migration writes)
+    assert plan.write_ios >= plan.new_parities
+    # every physical disk index is in range
+    assert all(0 <= op.disk < plan.n for op in plan.ops)
+    assert all(op.block >= 0 for op in plan.ops)
+    # blocks stay within the declared per-disk capacity
+    assert all(op.block < plan.blocks_per_disk for op in plan.ops)

@@ -1,0 +1,114 @@
+"""Edge cases not exercised elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.timing import conversion_time, phase_makespans
+from repro.migration import (
+    build_plan,
+    execute_plan,
+    prepare_source_array,
+    verify_conversion,
+)
+from repro.simdisk.events import EventQueue
+
+
+class TestHdpPartialOverflow:
+    @pytest.mark.parametrize("groups", [1, 3, 5])
+    def test_non_cycle_group_counts_still_verify(self, groups, rng):
+        """HDP's overflow repacking with a PARTIAL last overflow group
+        (groups not a multiple of p-3) must still convert correctly."""
+        plan = build_plan("hdp", "direct", 5, groups=groups)
+        array, data = prepare_source_array(plan, rng)
+        result = execute_plan(plan, array, data)
+        assert verify_conversion(result, rng), plan.describe()
+
+    def test_overflow_group_count(self):
+        p, groups = 7, 5  # 5 * 6 displaced blocks over 24-per-group = 2 groups
+        plan = build_plan("hdp", "direct", p, groups=groups)
+        assert plan.groups == groups + 2
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        q.push(5.0, "b")
+        q.push(1.0, "a")
+        q.push(3.0, "c")
+        assert [q.pop().kind for _ in range(3)] == ["a", "c", "b"]
+
+    def test_fifo_on_ties(self):
+        q = EventQueue()
+        for k in ("first", "second", "third"):
+            q.push(1.0, k)
+        assert [q.pop().kind for _ in range(3)] == ["first", "second", "third"]
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q and len(q) == 0
+        q.push(0.0, "x")
+        assert q and len(q) == 1
+
+
+class TestTimingInternals:
+    def test_phase_makespans_shape(self):
+        plan = build_plan("rdp", "via-raid4", 5, groups=2)
+        nlb = phase_makespans(plan, load_balanced=False)
+        lb = phase_makespans(plan, load_balanced=True)
+        assert len(nlb) == len(lb) == 2  # degrade + upgrade
+        assert all(l <= n for l, n in zip(lb, nlb))
+
+    def test_conversion_time_sums_phases(self):
+        plan = build_plan("rdp", "via-raid4", 5, groups=2)
+        spans = phase_makespans(plan, load_balanced=False)
+        assert conversion_time(plan) == pytest.approx(sum(spans) / plan.data_blocks)
+
+
+class TestGeometryMisc:
+    def test_column_cells(self):
+        from repro.codes import get_layout
+
+        lay = get_layout("code56", 5)
+        assert lay.column_cells(2) == ((0, 2), (1, 2), (2, 2), (3, 2))
+
+    def test_describe_shows_virtual(self):
+        from repro.codes import get_layout
+
+        text = get_layout("code56", 5, virtual_cols=(0,)).describe()
+        assert " . " in text  # virtual glyph
+
+    def test_right_layout_describe(self):
+        from repro.codes import get_layout
+
+        text = get_layout("code56-right", 7).describe()
+        assert "code56-right" in text
+
+
+class TestEnginePartialVerification:
+    def test_verify_catches_swapped_blocks(self, rng):
+        """Swapping two equal-role blocks breaks the logical map even if
+        parities happen to stay consistent per-stripe."""
+        plan = build_plan("code56", "direct", 5, groups=2)
+        array, data = prepare_source_array(plan, rng)
+        result = execute_plan(plan, array, data)
+        a = array.raw(0, 0).copy()
+        array.raw(0, 0)[...] = array.raw(0, 4)
+        array.raw(0, 4)[...] = a
+        assert not verify_conversion(result, rng)
+
+
+class TestRaid5SymmetricMappings:
+    @pytest.mark.parametrize(
+        "layout_name", ["LEFT_SYMMETRIC", "RIGHT_SYMMETRIC", "RIGHT_ASYMMETRIC"]
+    )
+    def test_non_default_layouts_roundtrip(self, layout_name, rng):
+        from repro.raid import BlockArray, Raid5Array, Raid5Layout
+
+        arr = BlockArray(5, 10, block_size=8)
+        r5 = Raid5Array(arr, Raid5Layout[layout_name])
+        data = rng.integers(0, 256, size=(r5.capacity_blocks, 8), dtype=np.uint8)
+        r5.format_with(data)
+        assert r5.verify()
+        arr.fail_disk(3)
+        for lba in range(r5.capacity_blocks):
+            assert np.array_equal(r5.read(lba), data[lba])

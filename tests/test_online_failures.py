@@ -1,0 +1,128 @@
+"""Disk failures injected during the online conversion (Table VI, live)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Code56Migrator
+from repro.migration import DiskFailureEvent, OnlineCode56Conversion, OnlineRequest
+from repro.raid import BlockArray, Raid5Array, Raid5Layout
+
+
+def fresh(rng, p=5, groups=8, bs=8):
+    m = p - 1
+    array = BlockArray(m, groups * (p - 1), block_size=bs)
+    r5 = Raid5Array(array, Raid5Layout.LEFT_ASYMMETRIC)
+    data = rng.integers(0, 256, size=(r5.capacity_blocks, bs), dtype=np.uint8)
+    r5.format_with(data)
+    array.add_disk()
+    return array, data
+
+
+class TestDataDiskFailure:
+    @pytest.mark.parametrize("fail_disk", [0, 1, 3])
+    def test_conversion_completes_degraded(self, fail_disk, rng):
+        array, data = fresh(rng)
+        conv = OnlineCode56Conversion(array, 5)
+        report = conv.run([], failures=[DiskFailureEvent(time=30.0, disk=fail_disk)])
+        assert report.failures_survived == 1
+        assert report.degraded_reads > 0
+        assert report.parities_generated == 8 * 4
+
+    def test_data_recoverable_after_rebuild(self, rng):
+        array, data = fresh(rng)
+        mig = Code56Migrator(array, 5)
+        report = mig.convert_online(failures=[DiskFailureEvent(time=25.0, disk=2)])
+        r6 = mig.as_raid6()
+        r6.rebuild_disks(2)
+        assert r6.verify()
+        for lba in range(r6.capacity_blocks):
+            assert np.array_equal(r6.read(lba), data[lba])
+
+    def test_early_failure_costs_more_degraded_reads(self, rng):
+        def run(t):
+            array, _ = fresh(rng, groups=10)
+            conv = OnlineCode56Conversion(array, 5)
+            return conv.run([], failures=[DiskFailureEvent(time=t, disk=1)])
+
+        early = run(0.0)
+        late = run(1e9)
+        assert early.degraded_reads > late.degraded_reads
+        assert late.degraded_reads == 0
+
+    def test_writes_during_degraded_window(self, rng):
+        array, data = fresh(rng, groups=10)
+        truth = data.copy()
+        mig = Code56Migrator(array, 5)
+        reqs = []
+        for t in (10.0, 60.0, 150.0, 1e6):
+            lba = int(rng.integers(0, len(truth)))
+            payload = rng.integers(0, 256, size=8, dtype=np.uint8)
+            truth[lba] = payload
+            reqs.append(OnlineRequest(time=t, lba=lba, is_write=True, payload=payload))
+        mig.convert_online(reqs, failures=[DiskFailureEvent(time=5.0, disk=0)])
+        r6 = mig.as_raid6()
+        r6.rebuild_disks(0)
+        assert r6.verify()
+        for lba in range(r6.capacity_blocks):
+            assert np.array_equal(r6.read(lba), truth[lba]), lba
+
+    def test_write_to_failed_disk_is_reconstruct_write(self, rng):
+        """A write whose home disk is gone lands only in the parities."""
+        array, data = fresh(rng, groups=6)
+        truth = data.copy()
+        mig = Code56Migrator(array, 5)
+        # find an lba on disk 1
+        conv = OnlineCode56Conversion(array, 5)
+        lba = next(
+            i for i in range(conv.capacity_blocks) if conv.locate(i)[2] == 1
+        )
+        payload = rng.integers(0, 256, size=8, dtype=np.uint8)
+        truth[lba] = payload
+        mig.convert_online(
+            [OnlineRequest(time=10.0, lba=lba, is_write=True, payload=payload)],
+            failures=[DiskFailureEvent(time=0.0, disk=1)],
+        )
+        r6 = mig.as_raid6()
+        r6.rebuild_disks(1)
+        assert np.array_equal(r6.read(lba), payload)
+        for i in range(r6.capacity_blocks):
+            assert np.array_equal(r6.read(i), truth[i])
+
+    def test_degraded_read_served_correctly(self, rng):
+        array, data = fresh(rng)
+        conv = OnlineCode56Conversion(array, 5)
+        report = conv.run(
+            [OnlineRequest(time=20.0, lba=3, is_write=False)],
+            failures=[DiskFailureEvent(time=0.0, disk=conv.locate(3)[2])],
+        )
+        # the degraded read cost m-1 ticks instead of 1
+        assert report.request_latencies[0] == 3
+
+
+class TestNewDiskFailure:
+    def test_losing_the_diagonal_disk_aborts(self, rng):
+        array, _ = fresh(rng)
+        conv = OnlineCode56Conversion(array, 5)
+        with pytest.raises(RuntimeError, match="diagonal-parity disk"):
+            conv.run([], failures=[DiskFailureEvent(time=10.0, disk=4)])
+
+    def test_old_disks_untouched_after_abort(self, rng):
+        """The abort leaves a consistent RAID-5 — nothing was destroyed."""
+        array, data = fresh(rng)
+        before_r5 = array.snapshot()[:4]
+        conv = OnlineCode56Conversion(array, 5)
+        with pytest.raises(RuntimeError):
+            conv.run([], failures=[DiskFailureEvent(time=10.0, disk=4)])
+        assert np.array_equal(array.snapshot()[:4], before_r5)
+        array.replace_disk(4)
+        r5 = Raid5Array(array, Raid5Layout.LEFT_ASYMMETRIC, n_disks=4)
+        assert r5.verify()
+
+
+class TestVerifyGuards:
+    def test_verify_refuses_degraded_array(self, rng):
+        array, _ = fresh(rng)
+        conv = OnlineCode56Conversion(array, 5)
+        conv.run([], failures=[DiskFailureEvent(time=0.0, disk=1)])
+        with pytest.raises(RuntimeError, match="rebuild"):
+            conv.verify()

@@ -1,0 +1,120 @@
+"""Raid5Array: formatting, I/O paths, degradation, rebuild."""
+
+import numpy as np
+import pytest
+
+from repro.raid import BlockArray, Raid5Array, Raid5Layout
+
+
+@pytest.fixture(params=list(Raid5Layout))
+def raid5(request, rng):
+    arr = BlockArray(5, 10, block_size=8)
+    r5 = Raid5Array(arr, request.param)
+    data = rng.integers(0, 256, size=(r5.capacity_blocks, 8), dtype=np.uint8)
+    r5.format_with(data)
+    return r5, data
+
+
+class TestFormatting:
+    def test_capacity(self):
+        arr = BlockArray(5, 10, block_size=8)
+        assert Raid5Array(arr).capacity_blocks == 40
+
+    def test_parity_consistent(self, raid5):
+        r5, _ = raid5
+        assert r5.verify()
+
+    def test_wrong_data_shape(self):
+        arr = BlockArray(4, 4, block_size=8)
+        r5 = Raid5Array(arr)
+        with pytest.raises(ValueError):
+            r5.format_with(np.zeros((5, 8), dtype=np.uint8))
+
+    def test_too_few_disks(self):
+        with pytest.raises(ValueError):
+            Raid5Array(BlockArray(2, 4, 8))
+
+    def test_narrower_than_array(self, rng):
+        arr = BlockArray(6, 8, block_size=8)
+        r5 = Raid5Array(arr, n_disks=4)
+        data = rng.integers(0, 256, size=(r5.capacity_blocks, 8), dtype=np.uint8)
+        r5.format_with(data)
+        assert r5.verify()
+        assert not arr.raw(5, 0).any()  # untouched spare
+
+
+class TestReads:
+    def test_healthy_reads(self, raid5):
+        r5, data = raid5
+        for lba in range(r5.capacity_blocks):
+            assert np.array_equal(r5.read(lba), data[lba])
+
+    def test_degraded_reads(self, raid5):
+        r5, data = raid5
+        r5.array.fail_disk(2)
+        for lba in range(r5.capacity_blocks):
+            assert np.array_equal(r5.read(lba), data[lba])
+
+    def test_out_of_range(self, raid5):
+        r5, _ = raid5
+        with pytest.raises(IndexError):
+            r5.read(r5.capacity_blocks)
+
+
+class TestWrites:
+    def test_small_write_is_four_ios(self, raid5, rng):
+        r5, data = raid5
+        r5.array.reset_counters()
+        ios = r5.write(7, rng.integers(0, 256, 8, dtype=np.uint8))
+        assert ios == 4
+        assert r5.array.total_ios == 4
+
+    def test_write_keeps_parity(self, raid5, rng):
+        r5, data = raid5
+        for lba in (0, 9, 17):
+            nb = rng.integers(0, 256, 8, dtype=np.uint8)
+            r5.write(lba, nb)
+            data[lba] = nb
+        assert r5.verify()
+        for lba in range(r5.capacity_blocks):
+            assert np.array_equal(r5.read(lba), data[lba])
+
+    def test_degraded_write_to_failed_data_disk(self, raid5, rng):
+        r5, data = raid5
+        stripe, disk = r5.locate(5)
+        r5.array.fail_disk(disk)
+        nb = rng.integers(0, 256, 8, dtype=np.uint8)
+        r5.write(5, nb)
+        data[5] = nb
+        # the write must be reconstructable through parity
+        assert np.array_equal(r5.read(5), data[5])
+
+    def test_write_with_failed_parity_disk(self, raid5, rng):
+        r5, data = raid5
+        stripe, _ = r5.locate(3)
+        r5.array.fail_disk(r5.parity_disk(stripe))
+        nb = rng.integers(0, 256, 8, dtype=np.uint8)
+        r5.write(3, nb)
+        assert np.array_equal(r5.read(3), nb)
+
+
+class TestRebuild:
+    def test_rebuild_restores_content(self, raid5):
+        r5, data = raid5
+        before = r5.array.snapshot()
+        r5.array.fail_disk(1)
+        r5.rebuild_disk(1)
+        assert np.array_equal(r5.array.snapshot(), before)
+        assert r5.verify()
+
+    def test_logical_of_roundtrip(self, raid5):
+        r5, _ = raid5
+        for lba in range(r5.capacity_blocks):
+            stripe, disk = r5.locate(lba)
+            assert r5.logical_of(stripe, disk) == lba
+
+    def test_parity_map(self, raid5):
+        r5, _ = raid5
+        pm = r5.parity_map()
+        assert len(pm) == r5.stripes
+        assert all(r5.logical_of(s, d) is None for s, d in pm)

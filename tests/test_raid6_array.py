@@ -1,0 +1,114 @@
+"""Raid6Array: code-generic volumes, rotation (LB), degraded I/O, rebuild."""
+
+import numpy as np
+import pytest
+
+from repro.codes import get_code
+from repro.raid import BlockArray, Raid6Array
+
+
+def make(code_name="code56", p=5, groups=4, rotation=None, rng=None, bs=8):
+    code = get_code(code_name, p)
+    arr = BlockArray(code.n_disks, groups * code.rows, block_size=bs)
+    r6 = Raid6Array(arr, code, rotation_period=rotation)
+    data = rng.integers(0, 256, size=(r6.capacity_blocks, bs), dtype=np.uint8)
+    r6.format_with(data)
+    return r6, data
+
+
+class TestMapping:
+    def test_capacity(self, rng):
+        r6, _ = make(rng=rng)
+        assert r6.capacity_blocks == 4 * 12
+
+    def test_locate_roundtrip(self, rng):
+        r6, _ = make(rng=rng)
+        seen = set()
+        for lba in range(r6.capacity_blocks):
+            g, cell = r6.locate(lba)
+            seen.add((g, cell))
+        assert len(seen) == r6.capacity_blocks
+
+    def test_rotation_moves_columns(self, rng):
+        r6, _ = make(rotation=1, rng=rng)
+        assert r6.disk_of(0, 0) == 0
+        assert r6.disk_of(1, 0) == 1  # rotated by one each group
+
+    def test_nlb_is_identity(self, rng):
+        r6, _ = make(rng=rng)
+        for g in range(r6.groups):
+            for c in range(5):
+                assert r6.disk_of(g, c) == c
+
+    def test_virtual_column_has_no_disk(self, rng):
+        code = get_code("evenodd", 5, virtual_cols=(4,))
+        arr = BlockArray(code.n_disks, 8, block_size=8)
+        r6 = Raid6Array(arr, code)
+        with pytest.raises(ValueError):
+            r6.disk_of(0, 4)
+
+    def test_bad_rotation_period(self, rng):
+        code = get_code("code56", 5)
+        arr = BlockArray(5, 8, 8)
+        with pytest.raises(ValueError):
+            Raid6Array(arr, code, rotation_period=0)
+
+    def test_array_too_narrow(self):
+        code = get_code("rdp", 5)
+        with pytest.raises(ValueError):
+            Raid6Array(BlockArray(4, 8, 8), code)
+
+
+@pytest.mark.parametrize("rotation", [None, 2])
+@pytest.mark.parametrize("code_name", ["code56", "rdp", "xcode", "hdp"])
+class TestIO:
+    def test_read_write_verify(self, code_name, rotation, rng):
+        r6, data = make(code_name, rotation=rotation, rng=rng)
+        assert r6.verify()
+        for lba in range(0, r6.capacity_blocks, 5):
+            assert np.array_equal(r6.read(lba), data[lba])
+        nb = rng.integers(0, 256, 8, dtype=np.uint8)
+        r6.write(3, nb)
+        data[3] = nb
+        assert r6.verify()
+        assert np.array_equal(r6.read(3), data[3])
+
+    def test_degraded_read_two_failures(self, code_name, rotation, rng):
+        r6, data = make(code_name, rotation=rotation, rng=rng)
+        cols = r6.code.layout.physical_cols
+        r6.array.fail_disk(cols[0])
+        r6.array.fail_disk(cols[2])
+        for lba in range(0, r6.capacity_blocks, 7):
+            assert np.array_equal(r6.read(lba), data[lba])
+
+    def test_rebuild(self, code_name, rotation, rng):
+        r6, data = make(code_name, rotation=rotation, rng=rng)
+        before = r6.array.snapshot()
+        cols = r6.code.layout.physical_cols
+        r6.array.fail_disk(cols[1])
+        r6.array.fail_disk(cols[3])
+        r6.rebuild_disks(cols[1], cols[3])
+        assert np.array_equal(r6.array.snapshot(), before)
+        assert r6.verify()
+
+
+class TestWriteSemantics:
+    def test_small_write_io_count_optimal_codes(self, rng):
+        """Optimal-update codes: 2 data I/Os + 2x2 parity I/Os = 6."""
+        r6, _ = make("code56", rng=rng)
+        r6.array.reset_counters()
+        ios = r6.write(0, rng.integers(0, 256, 8, dtype=np.uint8))
+        assert ios == 6
+
+    def test_small_write_io_count_hdp(self, rng):
+        """HDP's penalty-3 update -> 8 I/Os."""
+        r6, _ = make("hdp", rng=rng)
+        r6.array.reset_counters()
+        ios = r6.write(0, rng.integers(0, 256, 8, dtype=np.uint8))
+        assert ios == 8
+
+    def test_corruption_detected(self, rng):
+        r6, _ = make(rng=rng)
+        loc_disk = r6.disk_of(0, 0)
+        r6.array.raw(loc_disk, 0)[0] ^= 1
+        assert not r6.verify()

@@ -1,0 +1,85 @@
+"""RAID-5 layout rotations and address mapping."""
+
+import pytest
+
+from repro.raid.layouts import Raid5Layout, cell_role, data_disk, locate_block, parity_disk
+
+
+class TestParityPlacement:
+    def test_left_asymmetric_rotation(self):
+        # parity walks down from the last disk (the md 'la' layout)
+        n = 4
+        got = [parity_disk(Raid5Layout.LEFT_ASYMMETRIC, s, n) for s in range(6)]
+        assert got == [3, 2, 1, 0, 3, 2]
+
+    def test_right_asymmetric_rotation(self):
+        n = 4
+        got = [parity_disk(Raid5Layout.RIGHT_ASYMMETRIC, s, n) for s in range(6)]
+        assert got == [0, 1, 2, 3, 0, 1]
+
+    def test_symmetric_matches_asymmetric_parity(self):
+        # symmetric variants only change *data* placement, never parity
+        for s in range(10):
+            assert parity_disk(Raid5Layout.LEFT_SYMMETRIC, s, 5) == parity_disk(
+                Raid5Layout.LEFT_ASYMMETRIC, s, 5
+            )
+
+    def test_code56_alignment(self):
+        """Left-asymmetric parity of row i sits at disk m-1-i — Code 5-6's
+        horizontal-parity anti-diagonal (the paper's core trick)."""
+        p = 7
+        m = p - 1
+        for i in range(m):
+            assert parity_disk(Raid5Layout.LEFT_ASYMMETRIC, i, m) == m - 1 - i
+
+    def test_tiny_array_rejected(self):
+        with pytest.raises(ValueError):
+            parity_disk(Raid5Layout.LEFT_ASYMMETRIC, 0, 1)
+
+
+class TestDataPlacement:
+    @pytest.mark.parametrize("layout", list(Raid5Layout))
+    def test_stripe_is_a_permutation(self, layout):
+        n = 5
+        for stripe in range(n + 2):
+            disks = [data_disk(layout, stripe, n, k) for k in range(n - 1)]
+            disks.append(parity_disk(layout, stripe, n))
+            assert sorted(disks) == list(range(n))
+
+    def test_asymmetric_keeps_ascending_order(self):
+        n, stripe = 5, 1  # parity on disk 3 (left-asymmetric)
+        disks = [data_disk(Raid5Layout.LEFT_ASYMMETRIC, stripe, n, k) for k in range(4)]
+        assert disks == [0, 1, 2, 4]
+
+    def test_symmetric_wraps_after_parity(self):
+        n, stripe = 5, 0  # parity on disk 4
+        disks = [data_disk(Raid5Layout.LEFT_SYMMETRIC, stripe, n, k) for k in range(4)]
+        assert disks == [0, 1, 2, 3]
+        disks = [data_disk(Raid5Layout.LEFT_SYMMETRIC, 1, n, k) for k in range(4)]
+        assert disks == [4, 0, 1, 2]  # parity on 3, data continues after it
+
+    def test_k_out_of_range(self):
+        with pytest.raises(ValueError):
+            data_disk(Raid5Layout.LEFT_ASYMMETRIC, 0, 4, 3)
+
+
+class TestAddressMapping:
+    @pytest.mark.parametrize("layout", list(Raid5Layout))
+    def test_locate_inverse_of_cell_role(self, layout):
+        n = 6
+        for lba in range(3 * (n - 1)):
+            stripe, disk = locate_block(layout, lba, n)
+            k = cell_role(layout, stripe, disk, n)
+            assert k is not None
+            assert stripe * (n - 1) + k == lba
+
+    @pytest.mark.parametrize("layout", list(Raid5Layout))
+    def test_parity_cells_have_no_role(self, layout):
+        n = 6
+        for stripe in range(6):
+            pd = parity_disk(layout, stripe, n)
+            assert cell_role(layout, stripe, pd, n) is None
+
+    def test_negative_lba(self):
+        with pytest.raises(ValueError):
+            locate_block(Raid5Layout.LEFT_ASYMMETRIC, -1, 4)

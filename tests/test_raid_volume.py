@@ -1,0 +1,106 @@
+"""Byte-addressable volume layer."""
+
+import numpy as np
+import pytest
+
+from repro.codes import get_code
+from repro.raid import BlockArray, Raid5Array, Raid6Array
+from repro.raid.volume import Volume
+
+
+@pytest.fixture(params=["raid5", "raid6"])
+def volume(request, rng):
+    if request.param == "raid5":
+        arr = BlockArray(4, 12, block_size=64)
+        raid = Raid5Array(arr)
+    else:
+        code = get_code("code56", 5)
+        arr = BlockArray(5, 12, block_size=64)
+        raid = Raid6Array(arr, code)
+    data = rng.integers(0, 256, size=(raid.capacity_blocks, 64), dtype=np.uint8)
+    raid.format_with(data)
+    return Volume(raid), data.reshape(-1).tobytes()
+
+
+class TestRead:
+    def test_whole_volume(self, volume):
+        vol, truth = volume
+        assert vol.pread(0, vol.size_bytes) == truth
+
+    def test_unaligned_extent(self, volume):
+        vol, truth = volume
+        assert vol.pread(37, 301) == truth[37:338]
+
+    def test_single_byte(self, volume):
+        vol, truth = volume
+        assert vol.pread(130, 1) == truth[130:131]
+
+    def test_empty_read(self, volume):
+        vol, _ = volume
+        assert vol.pread(10, 0) == b""
+
+    def test_out_of_range(self, volume):
+        vol, _ = volume
+        with pytest.raises(ValueError):
+            vol.pread(vol.size_bytes - 3, 10)
+        with pytest.raises(ValueError):
+            vol.pread(-1, 4)
+
+
+class TestWrite:
+    def test_aligned_block_write(self, volume, rng):
+        vol, truth = volume
+        bs = vol.block_size
+        payload = bytes(rng.integers(0, 256, bs, dtype=np.uint8))
+        touched = vol.pwrite(2 * bs, payload)
+        assert touched == 1
+        assert vol.pread(2 * bs, bs) == payload
+
+    def test_unaligned_write_preserves_neighbours(self, volume, rng):
+        vol, truth = volume
+        payload = bytes(rng.integers(0, 256, 200, dtype=np.uint8))
+        vol.pwrite(100, payload)
+        expect = truth[:100] + payload + truth[300:]
+        assert vol.pread(0, vol.size_bytes) == expect
+
+    def test_parity_stays_consistent(self, volume, rng):
+        vol, _ = volume
+        vol.pwrite(77, bytes(rng.integers(0, 256, 500, dtype=np.uint8)))
+        assert vol.raid.verify()
+
+    def test_empty_write(self, volume):
+        vol, truth = volume
+        assert vol.pwrite(50, b"") == 0
+        assert vol.pread(0, vol.size_bytes) == truth
+
+    def test_fill(self, volume):
+        vol, _ = volume
+        vol.fill(0xAB)
+        assert vol.pread(0, 100) == b"\xab" * 100
+        assert vol.raid.verify()
+
+    def test_out_of_range(self, volume):
+        vol, _ = volume
+        with pytest.raises(ValueError):
+            vol.pwrite(vol.size_bytes - 1, b"abc")
+
+
+class TestDegraded:
+    def test_reads_through_a_failed_disk(self, volume):
+        vol, truth = volume
+        vol.raid.array.fail_disk(1)
+        assert vol.pread(0, vol.size_bytes) == truth
+
+
+class TestProperty:
+    def test_random_extents_roundtrip(self, volume, rng):
+        vol, truth = volume
+        shadow = bytearray(truth)
+        for _ in range(30):
+            off = int(rng.integers(0, vol.size_bytes - 1))
+            length = int(rng.integers(1, min(400, vol.size_bytes - off)))
+            payload = bytes(rng.integers(0, 256, length, dtype=np.uint8))
+            vol.pwrite(off, payload)
+            shadow[off : off + length] = payload
+        assert vol.pread(0, vol.size_bytes) == bytes(shadow)
+        assert vol.raid.verify()

@@ -1,0 +1,79 @@
+"""Reed-Solomon P+Q reference baseline."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.codes import ReedSolomonRaid6
+
+
+@pytest.fixture
+def rs_stripe(rng):
+    rs = ReedSolomonRaid6(k=8, rows=3)
+    stripe = rs.empty_stripe(block_size=32)
+    stripe[:, :8, :] = rng.integers(0, 256, size=(3, 8, 32), dtype=np.uint8)
+    rs.encode(stripe)
+    return rs, stripe
+
+
+class TestEncode:
+    def test_p_is_xor(self, rs_stripe):
+        rs, stripe = rs_stripe
+        expect = np.bitwise_xor.reduce(stripe[:, :8, :], axis=1)
+        assert np.array_equal(stripe[:, rs.p_col, :], expect)
+
+    def test_verify(self, rs_stripe):
+        rs, stripe = rs_stripe
+        assert rs.verify(stripe)
+        stripe[1, 2, 5] ^= 0x10
+        assert not rs.verify(stripe)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            ReedSolomonRaid6(k=1)
+        with pytest.raises(ValueError):
+            ReedSolomonRaid6(k=256)
+
+    def test_shape_check(self, rs_stripe):
+        rs, _ = rs_stripe
+        with pytest.raises(ValueError):
+            rs.encode(np.zeros((3, 5, 8), dtype=np.uint8))
+
+
+class TestDecode:
+    def test_every_double_erasure(self, rs_stripe):
+        rs, stripe = rs_stripe
+        for c1, c2 in itertools.combinations(range(rs.cols), 2):
+            broken = stripe.copy()
+            broken[:, c1, :] = 0xAA
+            broken[:, c2, :] = 0x55
+            rs.decode_columns(broken, c1, c2)
+            assert np.array_equal(broken, stripe), (c1, c2)
+
+    def test_every_single_erasure(self, rs_stripe):
+        rs, stripe = rs_stripe
+        for c in range(rs.cols):
+            broken = stripe.copy()
+            broken[:, c, :] = 0
+            rs.decode_columns(broken, c)
+            assert np.array_equal(broken, stripe)
+
+    def test_triple_erasure_rejected(self, rs_stripe):
+        rs, stripe = rs_stripe
+        with pytest.raises(ValueError):
+            rs.decode_columns(stripe, 0, 1, 2)
+
+    def test_noop_without_failures(self, rs_stripe):
+        rs, stripe = rs_stripe
+        before = stripe.copy()
+        rs.decode_columns(stripe)
+        assert np.array_equal(stripe, before)
+
+
+class TestProperties:
+    def test_storage_efficiency(self):
+        assert ReedSolomonRaid6(k=8).storage_efficiency() == pytest.approx(0.8)
+
+    def test_num_data(self):
+        assert ReedSolomonRaid6(k=4, rows=5).num_data == 20

@@ -1,0 +1,126 @@
+"""Workload replay (I/O amplification) and degraded-read analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.degraded import degraded_read_profile, degraded_read_table
+from repro.codes import CODE_NAMES, get_code, get_layout
+from repro.raid import BlockArray, Raid5Array, Raid6Array
+from repro.workloads.replay import LogicalWorkload, logical_workload, replay
+
+
+def make_raid6(rng, name="code56", p=5, groups=4, bs=8):
+    code = get_code(name, p)
+    arr = BlockArray(code.n_disks, groups * code.rows, block_size=bs)
+    r6 = Raid6Array(arr, code)
+    r6.format_with(rng.integers(0, 256, size=(r6.capacity_blocks, bs), dtype=np.uint8))
+    return r6
+
+
+class TestLogicalWorkload:
+    def test_generator_bounds(self, rng):
+        w = logical_workload(rng, 200, 50, read_fraction=0.5)
+        assert w.lba.max() < 50
+        assert w.reads + w.writes == 200
+
+    def test_empty_volume_rejected(self, rng):
+        with pytest.raises(ValueError):
+            logical_workload(rng, 10, 0)
+
+
+class TestReplay:
+    def test_read_only_has_no_amplification(self, rng):
+        r6 = make_raid6(rng)
+        w = logical_workload(rng, 100, r6.capacity_blocks, read_fraction=1.0)
+        res = replay(r6, w, rng)
+        assert res.physical_writes == 0
+        assert res.physical_reads == 100
+        assert res.io_amplification == 1.0
+
+    def test_write_amplification_matches_update_penalty(self, rng):
+        """Pure writes on an update-optimal code: 3 physical writes per
+        logical write (data + two parities), 3 reads for the RMW."""
+        r6 = make_raid6(rng, "code56")
+        w = logical_workload(rng, 100, r6.capacity_blocks, read_fraction=0.0)
+        res = replay(r6, w, rng)
+        assert res.write_amplification == pytest.approx(3.0)
+        assert res.read_amplification == pytest.approx(3.0)
+
+    def test_hdp_amplifies_more(self, rng):
+        opt = replay(
+            make_raid6(rng, "code56"),
+            logical_workload(rng, 60, 40, read_fraction=0.0),
+            rng,
+        )
+        hdp = replay(
+            make_raid6(rng, "hdp"),
+            logical_workload(rng, 60, 30, read_fraction=0.0),
+            rng,
+        )
+        assert hdp.write_amplification > opt.write_amplification
+
+    def test_raid5_write_amplification_is_two(self, rng):
+        arr = BlockArray(5, 8, block_size=8)
+        r5 = Raid5Array(arr)
+        r5.format_with(rng.integers(0, 256, size=(r5.capacity_blocks, 8), dtype=np.uint8))
+        w = logical_workload(rng, 50, r5.capacity_blocks, read_fraction=0.0)
+        res = replay(r5, w, rng)
+        assert res.write_amplification == pytest.approx(2.0)
+
+    def test_mixed_workload_accounting(self, rng):
+        r6 = make_raid6(rng)
+        w = LogicalWorkload(
+            lba=np.array([0, 1, 2, 3]), is_write=np.array([True, False, True, False])
+        )
+        res = replay(r6, w, rng)
+        assert res.logical_reads == 2 and res.logical_writes == 2
+        assert res.physical_reads == 2 + 2 * 3
+        assert res.physical_writes == 2 * 3
+
+
+class TestDegradedReads:
+    @pytest.mark.parametrize("name", CODE_NAMES)
+    def test_profiles_exist_for_all_columns(self, name):
+        lay = get_layout(name, 5)
+        profiles = degraded_read_table(lay)
+        assert len(profiles) == lay.n_disks
+        for prof in profiles:
+            assert 0 <= prof.data_fraction <= 1
+            for cost in prof.per_cell_reads.values():
+                assert cost >= 1
+
+    def test_code56_data_column_costs(self):
+        """Each lost Code 5-6 data cell rebuilds from p-2 blocks."""
+        lay = get_layout("code56", 5)
+        prof = degraded_read_profile(lay, 1)
+        assert set(prof.per_cell_reads.values()) == {3}
+
+    def test_parity_column_failure_is_free_for_reads(self):
+        """Losing the diagonal column costs data reads nothing."""
+        lay = get_layout("code56", 5)
+        prof = degraded_read_profile(lay, 4)
+        assert prof.per_cell_reads == {}
+        assert prof.expected_read_cost == 1.0
+
+    def test_expected_cost_interpolates(self):
+        lay = get_layout("rdp", 5)
+        prof = degraded_read_profile(lay, 0)
+        assert 1.0 < prof.expected_read_cost < prof.avg_reads_per_degraded_read
+
+    def test_matches_measured_degraded_reads(self, rng):
+        """The model's per-cell cost equals the live array's counters."""
+        r6 = make_raid6(rng, "code56", groups=2)
+        lay = r6.code.layout
+        prof = degraded_read_profile(lay, 2)
+        r6.array.fail_disk(2)
+        for lba in range(r6.capacity_blocks):
+            g, cell = r6.locate(lba)
+            if cell[1] != 2:
+                continue
+            r6.array.reset_counters()
+            r6.read(lba)
+            assert r6.array.total_reads == prof.per_cell_reads[cell], (lba, cell)
+
+    def test_invalid_column(self):
+        with pytest.raises(ValueError):
+            degraded_read_profile(get_layout("code56", 5), 9)

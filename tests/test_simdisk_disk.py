@@ -1,0 +1,98 @@
+"""Mechanical disk model."""
+
+import numpy as np
+import pytest
+
+from repro.simdisk import DiskModel, PRESETS, get_preset
+
+
+@pytest.fixture
+def disk():
+    return PRESETS["sata-7200"]
+
+
+class TestComponents:
+    def test_revolution(self, disk):
+        assert disk.revolution_ms == pytest.approx(60000 / 7200)
+        assert disk.avg_rotational_ms == pytest.approx(disk.revolution_ms / 2)
+
+    def test_seek_zero_same_cylinder(self, disk):
+        assert disk.seek_ms(100, 100) == 0.0
+
+    def test_seek_single_cylinder(self, disk):
+        assert disk.seek_ms(0, 1) == pytest.approx(
+            disk.single_cyl_seek_ms, rel=0.05
+        )
+
+    def test_seek_full_stroke(self, disk):
+        assert disk.seek_ms(0, disk.cylinders - 1) == pytest.approx(disk.max_seek_ms)
+
+    def test_seek_monotone_sqrt(self, disk):
+        a = disk.seek_ms(0, 100)
+        b = disk.seek_ms(0, 400)
+        assert a < b < 2 * a + disk.single_cyl_seek_ms  # sqrt growth, not linear
+
+    def test_transfer_time(self, disk):
+        assert disk.transfer_ms(4096) == pytest.approx(4096 / 100e6 * 1e3)
+
+
+class TestServiceTime:
+    def test_sequential_streams(self, disk):
+        # next block: transfer only
+        assert disk.service_ms(999, 1000, 4096) == pytest.approx(disk.transfer_ms(4096))
+
+    def test_random_pays_seek_and_rotation(self, disk):
+        t = disk.service_ms(0, 5_000_000, 4096)
+        assert t > disk.avg_rotational_ms
+
+    def test_first_request_seeks_from_zero(self, disk):
+        t = disk.service_ms(None, 0, 4096)
+        assert t == pytest.approx(disk.avg_rotational_ms + disk.transfer_ms(4096))
+
+    def test_short_forward_gap_flies_over(self, disk):
+        """Skipping blocks on a track costs their rotational pass, not a
+        seek — what makes read-sparse recovery plans viable."""
+        t = disk.service_ms(0, 5, 4096)  # same cylinder, gap of 4
+        assert t == pytest.approx(5 * disk.transfer_ms(4096))
+        assert t < disk.avg_rotational_ms
+
+    def test_long_forward_gap_capped_by_rotation(self, disk):
+        t = disk.service_ms(0, 900, 4096)  # same cylinder, huge gap
+        assert t == pytest.approx(disk.avg_rotational_ms + disk.transfer_ms(4096))
+
+    def test_backward_same_cylinder_pays_rotation(self, disk):
+        t = disk.service_ms(5, 0, 4096)
+        assert t == pytest.approx(disk.avg_rotational_ms + disk.transfer_ms(4096))
+
+
+class TestVectorised:
+    def test_matches_scalar_chain(self, disk, rng):
+        blocks = rng.integers(0, 1_000_000, size=300)
+        # sprinkle sequential runs
+        blocks[50:80] = np.arange(30) + 12345
+        vec = disk.service_ms_vector(blocks, 4096)
+        prev = None
+        for i, b in enumerate(blocks):
+            expect = disk.service_ms(prev, int(b), 4096)
+            assert vec[i] == pytest.approx(expect), i
+            prev = int(b)
+
+    def test_empty(self, disk):
+        assert disk.service_ms_vector(np.array([], dtype=np.int64), 4096).size == 0
+
+
+class TestPresets:
+    def test_known_presets(self):
+        for name in ("sata-7200", "sas-10k", "sas-15k"):
+            assert get_preset(name).name == name
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            get_preset("floppy")
+
+    def test_faster_tiers_serve_faster(self):
+        t = {
+            name: get_preset(name).service_ms(0, 10_000_000, 4096)
+            for name in PRESETS
+        }
+        assert t["sas-15k"] < t["sas-10k"] < t["sata-7200"]

@@ -1,0 +1,70 @@
+"""STAR code: triple-fault tolerance through the same chain framework."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.codes import ArrayCode, apply_recovery_plan, build_recovery_plan, certify_mds
+from repro.codes.mds import check_erasures
+from repro.codes.star import anti_adjuster_cells, star_layout
+
+
+class TestGeometry:
+    def test_shape(self):
+        lay = star_layout(5)
+        assert (lay.rows, lay.cols) == (4, 8)
+        assert lay.num_parity == 3 * 4
+
+    def test_adjusters_are_disjoint_diagonals(self):
+        p = 7
+        s2 = anti_adjuster_cells(p)
+        assert all((r - c) % p == p - 1 for r, c in s2)
+        assert len(s2) == p - 1
+
+    def test_rejects_nonprime(self):
+        with pytest.raises(ValueError):
+            star_layout(9)
+
+
+class TestTripleTolerance:
+    @pytest.mark.parametrize("p", [5, 7])
+    def test_exhaustive_triple_certification(self, p):
+        report = certify_mds(star_layout(p), tolerance=3)
+        assert report.is_mds
+        assert report.storage_optimal  # (n-3)*rows data cells
+
+    def test_double_certification_also_holds(self):
+        assert certify_mds(star_layout(5), tolerance=2).is_mds
+
+    def test_payload_roundtrip_all_triples(self, rng):
+        p = 5
+        lay = star_layout(p)
+        code = ArrayCode(lay)
+        data = rng.integers(0, 256, size=(code.num_data, 8), dtype=np.uint8)
+        stripe = code.make_stripe(data)
+        assert code.verify(stripe)
+        for cols in itertools.combinations(range(lay.cols), 3):
+            lost = tuple((r, c) for c in cols for r in range(lay.rows))
+            plan = build_recovery_plan(lay, lost)
+            broken = stripe.copy()
+            for c in cols:
+                broken[:, c, :] = 0
+            apply_recovery_plan(plan, broken)
+            assert np.array_equal(broken, stripe), cols
+
+    def test_quadruple_erasure_fails(self):
+        lay = star_layout(5)
+        failures = check_erasures(lay, 4)
+        assert failures  # beyond the designed tolerance
+
+    def test_shortened_star_keeps_tolerance(self):
+        lay = star_layout(5, virtual_cols=(4,))
+        assert certify_mds(lay, tolerance=3).is_mds
+
+    def test_update_penalty_is_three_or_storm(self):
+        """Each data cell feeds a row, a diagonal and an anti-diagonal;
+        adjuster cells feed every chain of their family."""
+        lay = star_layout(5)
+        pens = {lay.update_penalty(c) for c in lay.data_cells}
+        assert min(pens) == 3

@@ -1,0 +1,72 @@
+"""Unit tests for payload-block helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util.blocks import random_blocks, xor_into, xor_reduce, zeros_blocks
+
+
+class TestXorReduce:
+    def test_basic(self, rng):
+        a, b, c = (rng.integers(0, 256, 8, dtype=np.uint8) for _ in range(3))
+        out = xor_reduce([a, b, c])
+        assert np.array_equal(out, a ^ b ^ c)
+
+    def test_single_operand_copies(self, rng):
+        a = rng.integers(0, 256, 8, dtype=np.uint8)
+        out = xor_reduce([a])
+        assert np.array_equal(out, a)
+        out[0] ^= 0xFF
+        assert not np.array_equal(out, a)  # no aliasing
+
+    def test_out_parameter(self, rng):
+        a, b = (rng.integers(0, 256, 8, dtype=np.uint8) for _ in range(2))
+        out = np.empty(8, dtype=np.uint8)
+        ret = xor_reduce([a, b], out=out)
+        assert ret is out
+        assert np.array_equal(out, a ^ b)
+
+    def test_out_may_alias_first(self, rng):
+        a, b = (rng.integers(0, 256, 8, dtype=np.uint8) for _ in range(2))
+        expect = a ^ b
+        ret = xor_reduce([a, b], out=a)
+        assert ret is a
+        assert np.array_equal(a, expect)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            xor_reduce([])
+
+    def test_self_inverse(self, rng):
+        a, b = (rng.integers(0, 256, 32, dtype=np.uint8) for _ in range(2))
+        assert not xor_reduce([a, b, a, b]).any()
+
+
+class TestXorInto:
+    def test_accumulates_in_place(self, rng):
+        a = rng.integers(0, 256, 8, dtype=np.uint8)
+        b = rng.integers(0, 256, 8, dtype=np.uint8)
+        orig = a.copy()
+        ret = xor_into(a, b)
+        assert ret is a
+        assert np.array_equal(a, orig ^ b)
+
+    def test_multiple_operands(self, rng):
+        a, b, c = (rng.integers(0, 256, 8, dtype=np.uint8) for _ in range(3))
+        orig = a.copy()
+        xor_into(a, b, c)
+        assert np.array_equal(a, orig ^ b ^ c)
+
+
+class TestAllocators:
+    def test_zeros_blocks_shape(self):
+        z = zeros_blocks(3, 4, block_size=32)
+        assert z.shape == (3, 4, 32)
+        assert z.dtype == np.uint8
+        assert not z.any()
+
+    def test_random_blocks_shape_and_determinism(self):
+        a = random_blocks(np.random.default_rng(1), 2, 5, block_size=8)
+        b = random_blocks(np.random.default_rng(1), 2, 5, block_size=8)
+        assert a.shape == (2, 5, 8)
+        assert np.array_equal(a, b)

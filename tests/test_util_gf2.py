@@ -1,0 +1,99 @@
+"""Unit tests for GF(2) linear algebra."""
+
+import numpy as np
+import pytest
+
+from repro.util.gf2 import gf2_elimination, gf2_inverse, gf2_rank, gf2_solve
+
+
+def _random_invertible(rng, n):
+    while True:
+        a = rng.integers(0, 2, size=(n, n), dtype=np.uint8)
+        if gf2_rank(a) == n:
+            return a
+
+
+class TestElimination:
+    def test_identity_passthrough(self):
+        eye = np.eye(4, dtype=np.uint8)
+        rref, t, pivots = gf2_elimination(eye)
+        assert np.array_equal(rref, eye)
+        assert pivots == [0, 1, 2, 3]
+
+    def test_transform_reproduces_rref(self, rng):
+        a = rng.integers(0, 2, size=(6, 4), dtype=np.uint8)
+        rref, t, _ = gf2_elimination(a)
+        assert np.array_equal((t @ a) % 2, rref)
+
+    def test_does_not_mutate_input(self):
+        a = np.array([[1, 1], [1, 0]], dtype=np.uint8)
+        before = a.copy()
+        gf2_elimination(a)
+        assert np.array_equal(a, before)
+
+
+class TestRank:
+    def test_full_rank(self):
+        a = np.array([[1, 0, 1], [0, 1, 1], [1, 1, 1]], dtype=np.uint8)
+        assert gf2_rank(a) == 3
+
+    def test_dependent_rows(self):
+        a = np.array([[1, 0, 1], [0, 1, 1], [1, 1, 0]], dtype=np.uint8)
+        # row3 = row1 ^ row2
+        assert gf2_rank(a) == 2
+
+    def test_zero_matrix(self):
+        assert gf2_rank(np.zeros((3, 3), dtype=np.uint8)) == 0
+
+
+class TestSolve:
+    def test_known_system(self):
+        a = np.array([[1, 1, 0], [0, 1, 1], [1, 0, 1]], dtype=np.uint8)
+        # singular over GF(2): rows sum to zero
+        assert gf2_solve(a, np.array([1, 0, 1], dtype=np.uint8)) is None
+
+    def test_random_roundtrip(self, rng):
+        for n in (2, 4, 7):
+            a = _random_invertible(rng, n)
+            x = rng.integers(0, 2, size=n, dtype=np.uint8)
+            b = (a @ x) % 2
+            got = gf2_solve(a, b)
+            assert got is not None
+            assert np.array_equal(got, x)
+
+    def test_overdetermined_consistent(self, rng):
+        a = _random_invertible(rng, 4)
+        x = rng.integers(0, 2, size=4, dtype=np.uint8)
+        extra = (a[0] ^ a[1]).reshape(1, -1)
+        big = np.vstack([a, extra])
+        b = (big @ x) % 2
+        got = gf2_solve(big, b)
+        assert np.array_equal(got, x)
+
+    def test_overdetermined_inconsistent(self, rng):
+        a = _random_invertible(rng, 4)
+        x = rng.integers(0, 2, size=4, dtype=np.uint8)
+        big = np.vstack([a, (a[0] ^ a[1]).reshape(1, -1)])
+        b = (big @ x) % 2
+        b[-1] ^= 1
+        assert gf2_solve(big, b) is None
+
+    def test_underdetermined_returns_none(self):
+        a = np.array([[1, 0, 1]], dtype=np.uint8)
+        assert gf2_solve(a, np.array([1], dtype=np.uint8)) is None
+
+
+class TestInverse:
+    def test_roundtrip(self, rng):
+        a = _random_invertible(rng, 5)
+        inv = gf2_inverse(a)
+        assert inv is not None
+        assert np.array_equal((inv @ a) % 2, np.eye(5, dtype=np.uint8))
+
+    def test_singular(self):
+        a = np.array([[1, 1], [1, 1]], dtype=np.uint8)
+        assert gf2_inverse(a) is None
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            gf2_inverse(np.zeros((2, 3), dtype=np.uint8))

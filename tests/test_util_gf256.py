@@ -1,0 +1,106 @@
+"""Unit tests for GF(2^8) arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.util.gf256 import (
+    EXP_TABLE,
+    GF256,
+    LOG_TABLE,
+    MUL_TABLE,
+    gf_inv,
+    gf_mul,
+    gf_mul_blocks,
+    gf_pow,
+)
+
+
+class TestTables:
+    def test_exp_log_inverse_of_each_other(self):
+        for a in range(1, 256):
+            assert EXP_TABLE[LOG_TABLE[a]] == a
+
+    def test_exp_wraparound(self):
+        assert np.array_equal(EXP_TABLE[255:510], EXP_TABLE[0:255])
+
+    def test_generator_order(self):
+        seen = {int(EXP_TABLE[i]) for i in range(255)}
+        assert len(seen) == 255  # 2 generates the full multiplicative group
+
+
+class TestScalarOps:
+    def test_mul_identity_and_zero(self):
+        for a in range(256):
+            assert gf_mul(a, 1) == a
+            assert gf_mul(a, 0) == 0
+
+    def test_mul_commutative_associative(self, rng):
+        for _ in range(100):
+            a, b, c = (int(x) for x in rng.integers(0, 256, 3))
+            assert gf_mul(a, b) == gf_mul(b, a)
+            assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+    def test_distributive_over_xor(self, rng):
+        for _ in range(100):
+            a, b, c = (int(x) for x in rng.integers(0, 256, 3))
+            assert gf_mul(a, b ^ c) == gf_mul(a, b) ^ gf_mul(a, c)
+
+    def test_known_product(self):
+        # 2 * 0x80 = 0x11D ^ 0x100 = 0x1D in this field
+        assert gf_mul(2, 0x80) == 0x1D
+
+    def test_inverse(self):
+        for a in range(1, 256):
+            assert gf_mul(a, gf_inv(a)) == 1
+
+    def test_inv_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_inv(0)
+
+    def test_pow(self):
+        assert gf_pow(2, 0) == 1
+        assert gf_pow(2, 1) == 2
+        assert gf_pow(2, 8) == 0x1D
+        assert gf_pow(0, 5) == 0
+        assert gf_pow(0, 0) == 1
+
+    def test_pow_matches_repeated_mul(self, rng):
+        for _ in range(30):
+            a = int(rng.integers(1, 256))
+            n = int(rng.integers(0, 20))
+            expect = 1
+            for _ in range(n):
+                expect = gf_mul(expect, a)
+            assert gf_pow(a, n) == expect
+
+
+class TestBlockOps:
+    def test_mul_table_consistency(self, rng):
+        for _ in range(200):
+            a, b = (int(x) for x in rng.integers(0, 256, 2))
+            assert MUL_TABLE[a][b] == gf_mul(a, b)
+
+    def test_gf_mul_blocks_matches_scalar(self, rng):
+        block = rng.integers(0, 256, size=64, dtype=np.uint8)
+        for coeff in (0, 1, 2, 37, 255):
+            out = gf_mul_blocks(coeff, block)
+            expect = np.array([gf_mul(coeff, int(b)) for b in block], dtype=np.uint8)
+            assert np.array_equal(out, expect)
+
+    def test_gf_mul_blocks_out_param(self, rng):
+        block = rng.integers(0, 256, size=16, dtype=np.uint8)
+        out = np.empty_like(block)
+        ret = gf_mul_blocks(3, block, out=out)
+        assert ret is out
+        assert np.array_equal(out, gf_mul_blocks(3, block))
+
+
+class TestSolve2:
+    def test_double_erasure_system(self, rng):
+        for _ in range(50):
+            x1, x2 = (int(v) for v in rng.integers(0, 256, 2))
+            g1, g2 = gf_pow(2, 3), gf_pow(2, 7)
+            b1 = x1 ^ x2
+            b2 = gf_mul(g1, x1) ^ gf_mul(g2, x2)
+            got = GF256.solve2(1, 1, g1, g2, b1, b2)
+            assert got == (x1, x2)

@@ -1,0 +1,89 @@
+"""Unit tests for repro.util.primes."""
+
+import pytest
+
+from repro.util.primes import (
+    is_prime,
+    next_prime,
+    previous_prime,
+    prime_for_disks,
+    primes_in_range,
+)
+
+
+class TestIsPrime:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31):
+            assert is_prime(p)
+
+    def test_small_composites(self):
+        for n in (0, 1, 4, 6, 8, 9, 10, 12, 15, 21, 25, 27, 33, 49):
+            assert not is_prime(n)
+
+    def test_negative(self):
+        assert not is_prime(-7)
+
+    def test_larger_values(self):
+        assert is_prime(7919)  # 1000th prime
+        assert not is_prime(7917)
+        assert not is_prime(7921)  # 89^2
+
+
+class TestNextPrime:
+    def test_from_composite(self):
+        assert next_prime(8) == 11
+        assert next_prime(14) == 17
+
+    def test_from_prime_is_strictly_greater(self):
+        assert next_prime(7) == 11
+        assert next_prime(2) == 3
+
+    def test_from_zero(self):
+        assert next_prime(0) == 2
+
+
+class TestPreviousPrime:
+    def test_basic(self):
+        assert previous_prime(10) == 7
+        assert previous_prime(8) == 7
+
+    def test_strictly_smaller(self):
+        assert previous_prime(7) == 5
+
+    def test_no_prime_below_two(self):
+        with pytest.raises(ValueError):
+            previous_prime(2)
+
+
+class TestPrimesInRange:
+    def test_range(self):
+        assert primes_in_range(5, 20) == [5, 7, 11, 13, 17, 19]
+
+    def test_empty(self):
+        assert primes_in_range(24, 29) == []
+
+    def test_clamps_below_two(self):
+        assert primes_in_range(-10, 4) == [2, 3]
+
+
+class TestPrimeForDisks:
+    def test_exact_fit(self):
+        # m + 1 prime -> no virtual disks
+        assert prime_for_disks(4) == 5
+        assert prime_for_disks(6) == 7
+        assert prime_for_disks(10) == 11
+
+    def test_needs_virtual(self):
+        assert prime_for_disks(3) == 5  # p-1 = 4 >= 3
+        assert prime_for_disks(5) == 7
+        assert prime_for_disks(8) == 11
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            prime_for_disks(1)
+
+    def test_always_hosts_m(self):
+        for m in range(3, 40):
+            p = prime_for_disks(m)
+            assert is_prime(p)
+            assert p - 1 >= m
