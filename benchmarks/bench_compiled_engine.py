@@ -1,0 +1,140 @@
+"""Compiled executor vs audited engine: blocks/s per (code, approach).
+
+Every supported conversion at p=13 is run over full alignment cycles
+(~192 stripe-groups) through both engines; results must be byte-identical
+with identical per-disk I/O counters, and the compiled path must clear a
+10x blocks/s margin.  A Figure-19-scale trace simulation (0.6M data
+blocks) is also timed to guard the vectorised ``simulate_closed``.
+
+Machine-readable output lands in ``BENCH_engine.json`` at the repo root:
+
+    {"meta": {...},
+     "results": [{"code", "approach", "groups", "data_blocks",
+                  "audited_s", "compiled_s",
+                  "audited_blocks_per_s", "compiled_blocks_per_s",
+                  "speedup"}, ...],
+     "fig19_sim": {"fcfs_s", "ncq64_s"}}
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.compiled import compile_plan, execute_plan_compiled
+from repro.migration import (
+    build_plan,
+    execute_plan,
+    prepare_source_array,
+    supported_conversions,
+)
+from repro.migration.approaches import alignment_cycle
+from repro.simdisk import get_preset, simulate_closed
+from repro.workloads import conversion_trace
+
+P = 13
+BLOCK = 32
+GROUPS_TARGET = 192  # large batches amortise per-phase numpy overhead
+MIN_SPEEDUP = 10.0
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def _groups_for(code: str, approach: str, p: int) -> int:
+    plan = build_plan(code, approach, p, groups=1)
+    cycle = alignment_cycle(code, p, plan.n)
+    return cycle * max(1, -(-GROUPS_TARGET // cycle))
+
+
+def _time_config(code: str, approach: str) -> dict:
+    groups = _groups_for(code, approach, P)
+    plan = build_plan(code, approach, P, groups=groups)
+    array, data = prepare_source_array(plan, np.random.default_rng(0), block_size=BLOCK)
+    snapshot = array.snapshot()
+
+    t0 = time.perf_counter()
+    audited = execute_plan(plan, array, data)
+    audited_s = time.perf_counter() - t0
+    expect = array.snapshot()
+    expect_reads, expect_writes = array.reads.copy(), array.writes.copy()
+
+    program = compile_plan(plan)
+    compiled_s = float("inf")
+    for _ in range(3):
+        array.restore(snapshot)
+        t0 = time.perf_counter()
+        compiled = execute_plan_compiled(plan, array, data, program=program)
+        compiled_s = min(compiled_s, time.perf_counter() - t0)
+
+    assert np.array_equal(array.snapshot(), expect), f"{code}/{approach}: bytes differ"
+    assert np.array_equal(array.reads, expect_reads), f"{code}/{approach}: reads differ"
+    assert np.array_equal(array.writes, expect_writes), f"{code}/{approach}: writes differ"
+    assert compiled.measured_total == audited.measured_total
+
+    return {
+        "code": code,
+        "approach": approach,
+        "groups": groups,
+        "data_blocks": plan.data_blocks,
+        "audited_s": round(audited_s, 4),
+        "compiled_s": round(compiled_s, 4),
+        "audited_blocks_per_s": round(plan.data_blocks / audited_s, 1),
+        "compiled_blocks_per_s": round(plan.data_blocks / compiled_s, 1),
+        "speedup": round(audited_s / compiled_s, 2),
+    }
+
+
+def _time_fig19_sim() -> dict:
+    p = 5
+    plan = build_plan("code56", "direct", p, groups=alignment_cycle("code56", p, p))
+    trace = conversion_trace(
+        plan, total_data_blocks=600_000, block_size=4096, lb_rotation_period=16
+    )
+    model = get_preset("sata-7200")
+    out = {}
+    for label, window in (("fcfs_s", None), ("ncq64_s", 64)):
+        best = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            simulate_closed(trace, model, reorder_window=window)
+            best = min(best, time.perf_counter() - t0)
+        out[label] = round(best, 4)
+    return out
+
+
+def _run() -> dict:
+    results = [_time_config(code, approach) for code, approach in supported_conversions()]
+    return {
+        "meta": {
+            "p": P,
+            "block_size": BLOCK,
+            "groups_target": GROUPS_TARGET,
+            "min_speedup_required": MIN_SPEEDUP,
+            "fig19_data_blocks": 600_000,
+        },
+        "results": results,
+        "fig19_sim": _time_fig19_sim(),
+    }
+
+
+def bench_compiled_engine(benchmark, show):
+    report = benchmark.pedantic(_run, rounds=1, iterations=1)
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    lines = [f"compiled vs audited engine, p={P}, bs={BLOCK} (BENCH_engine.json)"]
+    for r in report["results"]:
+        lines.append(
+            f"{r['approach']:>10}({r['code']:<13}) g={r['groups']:>4}: "
+            f"{r['audited_blocks_per_s']:>10,.0f} -> "
+            f"{r['compiled_blocks_per_s']:>12,.0f} blk/s  ({r['speedup']:.1f}x)"
+        )
+    sim = report["fig19_sim"]
+    lines.append(
+        f"Fig-19-scale simulate_closed: FCFS {sim['fcfs_s']:.3f}s, "
+        f"NCQ-64 {sim['ncq64_s']:.3f}s"
+    )
+    show("\n".join(lines))
+
+    worst = min(r["speedup"] for r in report["results"])
+    assert worst >= MIN_SPEEDUP, f"worst compiled speedup {worst}x < {MIN_SPEEDUP}x"
+    assert sim["fcfs_s"] < 1.0 and sim["ncq64_s"] < 1.0

@@ -35,6 +35,7 @@ from repro.codes import (
     get_code,
     get_layout,
 )
+from repro.compiled import compile_plan, execute_plan_compiled
 from repro.core import (
     Code56Migrator,
     downgrade_to_raid5,
@@ -78,6 +79,9 @@ __all__ = [
     "execute_plan",
     "prepare_source_array",
     "verify_conversion",
+    # compiled execution layer
+    "compile_plan",
+    "execute_plan_compiled",
     # raid substrate
     "BlockArray",
     "Raid5Array",

@@ -70,7 +70,12 @@ def _cmd_convert(args: argparse.Namespace) -> int:
     plan = build_plan(args.code, args.approach, args.p, groups=groups, n_disks=args.n)
     rng = np.random.default_rng(args.seed)
     array, data = prepare_source_array(plan, rng, block_size=args.block_size)
-    result = execute_plan(plan, array, data)
+    if args.engine == "compiled":
+        from repro.compiled import execute_plan_compiled
+
+        result = execute_plan_compiled(plan, array, data)
+    else:
+        result = execute_plan(plan, array, data)
     ok = verify_conversion(result, rng)
     m = metrics_from_plan(plan)
     print(plan.describe())
@@ -204,6 +209,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_conv.add_argument("--groups", type=int, default=None)
     p_conv.add_argument("--block-size", type=int, default=16)
     p_conv.add_argument("--seed", type=int, default=0)
+    p_conv.add_argument("--engine", choices=["audited", "compiled"], default="audited",
+                        help="per-block audited engine or batched compiled executor")
     p_conv.set_defaults(func=_cmd_convert)
 
     p_sim = sub.add_parser("simulate", help="simulated conversion makespans")

@@ -1,0 +1,36 @@
+"""Compiled execution layer: conversion plans as NumPy index programs.
+
+``compile_plan`` lowers any :class:`ConversionPlan` — every code and
+approach the planners support — into flat gather/scatter index vectors
+plus batched parity encodes; ``execute_plan_compiled`` replays the
+program against a :class:`BlockArray` through the counted bulk-I/O API,
+producing the byte-identical array and per-disk counters of the audited
+engine at a fraction of the wall time.  ``assemble_all_groups`` /
+``batch_recover_columns`` apply the same idea to recovery.  See
+``docs/architecture.md`` ("Compiled execution layer").
+"""
+
+from repro.compiled.compiler import (
+    UnsupportedPlanError,
+    clear_program_cache,
+    compile_plan,
+    plan_cache_key,
+    program_cache_info,
+)
+from repro.compiled.executor import execute_compiled, execute_plan_compiled
+from repro.compiled.program import CompiledPlan, PhaseProgram
+from repro.compiled.recovery import assemble_all_groups, batch_recover_columns
+
+__all__ = [
+    "CompiledPlan",
+    "PhaseProgram",
+    "UnsupportedPlanError",
+    "assemble_all_groups",
+    "batch_recover_columns",
+    "clear_program_cache",
+    "compile_plan",
+    "execute_compiled",
+    "execute_plan_compiled",
+    "plan_cache_key",
+    "program_cache_info",
+]

@@ -1,0 +1,253 @@
+"""Lower a :class:`ConversionPlan` into a :class:`CompiledPlan`.
+
+The audited engine executes stripe-groups one at a time in ``(phase,
+group)`` order; the compiled executor batches each phase into a handful
+of numpy gathers and scatters.  The two are byte-identical only if
+reordering group work within a phase cannot change what any read
+observes or which write lands last, so compilation runs a *hazard
+analysis* before emitting a program:
+
+* no physical location is written twice in a phase by different groups
+  (same-group writes of different kinds keep their engine order);
+* a migration read never targets a location an earlier group (or an
+  earlier migration of the same group) writes in the same phase;
+* a stripe-assembly read of group ``g`` never targets a location a
+  *later* group migrates/NULLs/trims, nor one an *earlier* group
+  parity-writes (those are the two orderings batching flips);
+* reused-parity audit reads never target any location written in the
+  phase.
+
+Every plan the library's planners produce satisfies these (groups own
+disjoint block rows; the only cross-group flow — HDP's overflow repack —
+is migration-then-encode, which batching preserves).  A hand-built plan
+that violates them raises :class:`UnsupportedPlanError` instead of
+silently diverging; callers fall back to the audited engine.
+
+Programs are cached per ``(code, approach, p, m, n, groups,
+blocks_per_disk, extra)`` so benchmark sweeps that rebuild identical
+plans pay compilation once.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.compiled.program import CompiledPlan, PhaseProgram
+from repro.migration.plan import ConversionPlan, GroupWork
+
+__all__ = ["UnsupportedPlanError", "compile_plan", "clear_program_cache", "program_cache_info"]
+
+
+class UnsupportedPlanError(ValueError):
+    """The plan cannot be batched without changing its semantics."""
+
+
+# write kinds, in the order both the engine (within a group) and the
+# executor (within a phase) apply them
+_MIGRATE, _NULL, _TRIM, _PARITY = range(4)
+
+_CACHE: dict[tuple, CompiledPlan] = {}
+
+
+def plan_cache_key(plan: ConversionPlan) -> tuple:
+    """Identity of a planner-built plan (builders are deterministic)."""
+    return (
+        plan.code.name,
+        plan.approach,
+        plan.p,
+        plan.m,
+        plan.n,
+        plan.groups,
+        plan.blocks_per_disk,
+        plan.extra_blocks_per_disk,
+        tuple(sorted(plan.code.layout.virtual_cells)),
+    )
+
+
+def clear_program_cache() -> None:
+    _CACHE.clear()
+
+
+def program_cache_info() -> dict[str, int]:
+    return {"entries": len(_CACHE)}
+
+
+def compile_plan(plan: ConversionPlan, use_cache: bool = True) -> CompiledPlan:
+    """Compile ``plan`` (cached); raises :class:`UnsupportedPlanError`."""
+    key = plan_cache_key(plan)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+    by_phase: dict[int, list[GroupWork]] = defaultdict(list)
+    for gw in sorted(plan.group_works, key=lambda g: (g.phase, g.group)):
+        by_phase[gw.phase].append(gw)
+    phases = tuple(
+        _compile_phase(plan, phase, gws) for phase, gws in sorted(by_phase.items())
+    )
+    program = CompiledPlan(
+        key=key,
+        code=plan.code,
+        n_disks=plan.n,
+        blocks_per_disk=plan.blocks_per_disk,
+        phases=phases,
+    )
+    if use_cache:
+        _CACHE[key] = program
+    return program
+
+
+def _compile_phase(plan: ConversionPlan, phase: int, gws: list[GroupWork]) -> PhaseProgram:
+    layout = plan.code.layout
+    rows, cols = layout.rows, layout.cols
+    bpd = plan.blocks_per_disk
+
+    def flat(loc) -> int:
+        return loc.disk * bpd + loc.block
+
+    # write-side hazard bookkeeping: location -> [(group, kind)]
+    writes: dict[int, list[tuple[int, int]]] = defaultdict(list)
+
+    mig_src: list[tuple[int, int]] = []  # (disk, block)
+    mig_dst: list[tuple[int, int]] = []
+    mig_src_group: list[int] = []
+    nulls: list[tuple[int, int]] = []
+    trims: list[tuple[int, int]] = []
+
+    encode_groups = [gw for gw in gws if gw.parity_writes]
+    slot_of = {gw.group: i for i, gw in enumerate(encode_groups)}
+
+    for gw in gws:
+        for src, dst, _rp, _wp in gw.migrates.values():
+            mig_src.append((src.disk, src.block))
+            mig_dst.append((dst.disk, dst.block))
+            mig_src_group.append(gw.group)
+            writes[flat(dst)].append((gw.group, _MIGRATE))
+        for loc in gw.null_writes.values():
+            nulls.append((loc.disk, loc.block))
+            writes[flat(loc)].append((gw.group, _NULL))
+        for loc in gw.trims:
+            trims.append((loc.disk, loc.block))
+            writes[flat(loc)].append((gw.group, _TRIM))
+
+    reads: list[tuple[int, int, int]] = []  # (disk, block, cell)
+    fills: list[tuple[int, int, int]] = []
+    parities: list[tuple[int, int, int]] = []
+    checks: list[tuple[int, int, int]] = []
+    fill_group: list[int] = []
+    read_group: list[int] = []
+    check_locs: list[int] = []
+
+    for gw in encode_groups:
+        base = slot_of[gw.group] * rows * cols
+
+        def cell_idx(cell) -> int:
+            return base + cell[0] * cols + cell[1]
+
+        for cell, loc in gw.parity_writes.items():
+            parities.append((loc.disk, loc.block, cell_idx(cell)))
+            writes[flat(loc)].append((gw.group, _PARITY))
+        for cell, loc in gw.reads.items():
+            reads.append((loc.disk, loc.block, cell_idx(cell)))
+            read_group.append(gw.group)
+        # cells the engine pulls uncounted (controller memory, step 5)
+        touched = set(gw.parity_writes) | set(gw.null_writes) | gw.null_cells | set(gw.reads)
+        for cell in layout.data_cells:
+            if cell in touched or cell in gw.migrates:
+                continue
+            loc = plan.cell_locations.get((gw.group, cell))
+            if loc is not None:
+                fills.append((loc.disk, loc.block, cell_idx(cell)))
+                fill_group.append(gw.group)
+        # reused parities the engine audits after encoding (step 7)
+        for cell in layout.parity_cells:
+            if cell in gw.parity_writes or cell in layout.virtual_cells:
+                continue
+            loc = plan.cell_locations.get((gw.group, cell))
+            if loc is None:
+                continue
+            checks.append((loc.disk, loc.block, cell_idx(cell)))
+            check_locs.append(flat(loc))
+
+    _check_hazards(
+        writes,
+        mig_src=[(d * bpd + b, g) for (d, b), g in zip(mig_src, mig_src_group)],
+        gathers=[(d * bpd + b, g) for (d, b, _c), g in zip(reads, read_group)]
+        + [(d * bpd + b, g) for (d, b, _c), g in zip(fills, fill_group)],
+        check_locs=check_locs,
+    )
+
+    def cols_of(pairs: list, idx: int) -> np.ndarray:
+        return np.array([p[idx] for p in pairs], dtype=np.intp)
+
+    return PhaseProgram(
+        phase=phase,
+        batch=len(encode_groups),
+        migrate_src_disk=cols_of(mig_src, 0),
+        migrate_src_block=cols_of(mig_src, 1),
+        migrate_dst_disk=cols_of(mig_dst, 0),
+        migrate_dst_block=cols_of(mig_dst, 1),
+        null_disk=cols_of(nulls, 0),
+        null_block=cols_of(nulls, 1),
+        trim_disk=cols_of(trims, 0),
+        trim_block=cols_of(trims, 1),
+        read_disk=cols_of(reads, 0),
+        read_block=cols_of(reads, 1),
+        read_cell=cols_of(reads, 2),
+        fill_disk=cols_of(fills, 0),
+        fill_block=cols_of(fills, 1),
+        fill_cell=cols_of(fills, 2),
+        parity_disk=cols_of(parities, 0),
+        parity_block=cols_of(parities, 1),
+        parity_cell=cols_of(parities, 2),
+        check_disk=cols_of(checks, 0),
+        check_block=cols_of(checks, 1),
+        check_cell=cols_of(checks, 2),
+    )
+
+
+def _check_hazards(
+    writes: dict[int, list[tuple[int, int]]],
+    mig_src: list[tuple[int, int]],
+    gathers: list[tuple[int, int]],
+    check_locs: list[int],
+) -> None:
+    """Prove phase-level batching preserves the engine's group order."""
+    for loc, entries in writes.items():
+        if len(entries) == 1:
+            continue
+        groups = {g for g, _k in entries}
+        if len(groups) > 1:
+            raise UnsupportedPlanError(
+                f"location {loc} written by multiple groups {sorted(groups)} in one phase"
+            )
+        kinds = [k for _g, k in entries]
+        if len(kinds) != len(set(kinds)):
+            raise UnsupportedPlanError(
+                f"location {loc} written twice by the same group and kind"
+            )
+    for loc, g in mig_src:
+        for g_w, kind in writes.get(loc, ()):
+            if g_w < g or (g_w == g and kind == _MIGRATE):
+                raise UnsupportedPlanError(
+                    f"migration source {loc} of group {g} is overwritten "
+                    f"earlier in the phase (group {g_w})"
+                )
+    for loc, g in gathers:
+        for g_w, kind in writes.get(loc, ()):
+            if kind == _PARITY:
+                if g_w < g:
+                    raise UnsupportedPlanError(
+                        f"stripe read at {loc} (group {g}) follows a parity "
+                        f"write by group {g_w}; batching would reorder them"
+                    )
+            elif g_w > g:
+                raise UnsupportedPlanError(
+                    f"stripe read at {loc} (group {g}) precedes a write by "
+                    f"later group {g_w}; batching would reorder them"
+                )
+    for loc in check_locs:
+        if loc in writes:
+            raise UnsupportedPlanError(
+                f"reused-parity audit location {loc} is written in the same phase"
+            )

@@ -1,0 +1,100 @@
+"""Execute compiled conversion programs against a :class:`BlockArray`.
+
+The executor replays a :class:`CompiledPlan` phase by phase through the
+array's counted bulk-I/O API — migrations become one gather plus one
+scatter, NULL invalidations one zero-scatter, stripe assembly two
+gathers into a ``(batch, rows, cols, block)`` tensor, parity generation
+one batched :meth:`ArrayCode.encode`, and the parity landing one counted
+scatter.  The result is byte-identical to the audited engine with
+identical per-disk counters (tested for every supported conversion);
+only the Python overhead disappears.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compiled.compiler import compile_plan
+from repro.compiled.program import CompiledPlan, PhaseProgram
+from repro.migration.engine import ConversionResult
+from repro.migration.plan import ConversionPlan
+from repro.raid.array import BlockArray
+
+__all__ = ["execute_compiled", "execute_plan_compiled"]
+
+
+def _run_phase(program: CompiledPlan, ph: PhaseProgram, array: BlockArray) -> None:
+    code = program.code
+    # 1. migrations: bulk read → bulk write (counted, queue order)
+    if ph.migrate_src_disk.size:
+        payload = array.read_blocks(ph.migrate_src_disk, ph.migrate_src_block)
+        array.write_blocks(ph.migrate_dst_disk, ph.migrate_dst_block, payload)
+    # 2. NULL invalidation writes
+    if ph.null_disk.size:
+        array.write_zero_blocks(ph.null_disk, ph.null_block)
+    # 3. metadata trims (uncounted)
+    if ph.trim_disk.size:
+        array.trim_blocks(ph.trim_disk, ph.trim_block)
+    if ph.batch == 0:
+        return  # pure degrade phase: nothing to generate
+    # 4. assemble the batched stripe tensor
+    stripes = np.zeros(
+        (ph.batch, code.rows, code.cols, array.block_size), dtype=np.uint8
+    )
+    flat = stripes.reshape(-1, array.block_size)
+    if ph.read_disk.size:
+        flat[ph.read_cell] = array.read_blocks(ph.read_disk, ph.read_block)
+    if ph.fill_disk.size:
+        flat[ph.fill_cell] = array.gather_raw(ph.fill_disk, ph.fill_block)
+    # 5. one batched encode for every group of the phase
+    code.encode(stripes)
+    # 6. scatter the generated parities
+    if ph.parity_disk.size:
+        array.write_blocks(ph.parity_disk, ph.parity_block, flat[ph.parity_cell])
+    # 7. audit reused parities against the recomputed values (engine step 7)
+    if ph.check_disk.size:
+        actual = array.gather_raw(ph.check_disk, ph.check_block)
+        if not np.array_equal(flat[ph.check_cell], actual):
+            bad = np.flatnonzero((flat[ph.check_cell] != actual).any(axis=1))
+            raise AssertionError(
+                f"pre-existing parity at {bad.size} location(s) of phase "
+                f"{ph.phase} does not match the recomputed value — old "
+                "parity was not valid"
+            )
+
+
+def execute_compiled(program: CompiledPlan, array: BlockArray) -> None:
+    """Run every phase of ``program`` on ``array`` (counters accumulate)."""
+    if (array.n_disks, array.blocks_per_disk) != (program.n_disks, program.blocks_per_disk):
+        raise ValueError(
+            f"array geometry {(array.n_disks, array.blocks_per_disk)} does not "
+            f"match program {(program.n_disks, program.blocks_per_disk)}"
+        )
+    for ph in program.phases:
+        _run_phase(program, ph, array)
+
+
+def execute_plan_compiled(
+    plan: ConversionPlan,
+    array: BlockArray,
+    data: np.ndarray,
+    program: CompiledPlan | None = None,
+) -> ConversionResult:
+    """Drop-in replacement for :func:`repro.migration.execute_plan`.
+
+    Compiles ``plan`` (cached across calls) and executes it in bulk;
+    raises :class:`~repro.compiled.compiler.UnsupportedPlanError` when
+    the plan cannot be batched faithfully — fall back to the audited
+    engine in that case.
+    """
+    if program is None:
+        program = compile_plan(plan)
+    array.reset_counters()
+    execute_compiled(program, array)
+    return ConversionResult(
+        array=array,
+        plan=plan,
+        data=data,
+        measured_reads=array.total_reads,
+        measured_writes=array.total_writes,
+    )

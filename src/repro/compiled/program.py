@@ -1,0 +1,99 @@
+"""Index-program IR for compiled conversion execution.
+
+A :class:`CompiledPlan` is a :class:`~repro.migration.plan.ConversionPlan`
+lowered to flat numpy index vectors: per phase, the counted migrations,
+NULL writes and trims become gather/scatter index pairs, and every
+stripe-group that generates parity contributes rows to one batched
+``(groups, rows, cols, block)`` stripe tensor that is filled by two
+gathers (counted reads, uncounted controller-memory pulls), encoded with
+one batched :meth:`ArrayCode.encode`, and scattered back with one counted
+bulk write.  Executing the program performs *exactly* the audited
+engine's I/O — same bytes, same per-disk counters — without any
+per-block Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.codes.base import ArrayCode
+
+__all__ = ["PhaseProgram", "CompiledPlan"]
+
+
+def _empty() -> np.ndarray:
+    return np.zeros(0, dtype=np.intp)
+
+
+@dataclass(frozen=True)
+class PhaseProgram:
+    """One conversion phase as flat index vectors.
+
+    ``*_disk`` / ``*_block`` address the :class:`BlockArray`;
+    ``*_cell`` are flat indices into the phase's batched stripe tensor
+    (``slot * rows * cols + row * cols + col``).  All vectors of one
+    category have equal length.
+    """
+
+    phase: int
+    #: groups that generate parity this phase (batch size of the stripe tensor)
+    batch: int
+    # counted migrations: gather sources, scatter destinations (payload copy)
+    migrate_src_disk: np.ndarray = field(default_factory=_empty)
+    migrate_src_block: np.ndarray = field(default_factory=_empty)
+    migrate_dst_disk: np.ndarray = field(default_factory=_empty)
+    migrate_dst_block: np.ndarray = field(default_factory=_empty)
+    # counted NULL invalidation writes
+    null_disk: np.ndarray = field(default_factory=_empty)
+    null_block: np.ndarray = field(default_factory=_empty)
+    # uncounted metadata trims
+    trim_disk: np.ndarray = field(default_factory=_empty)
+    trim_block: np.ndarray = field(default_factory=_empty)
+    # counted reads feeding the stripe tensor
+    read_disk: np.ndarray = field(default_factory=_empty)
+    read_block: np.ndarray = field(default_factory=_empty)
+    read_cell: np.ndarray = field(default_factory=_empty)
+    # uncounted fills (data already in controller memory / on disk, reused)
+    fill_disk: np.ndarray = field(default_factory=_empty)
+    fill_block: np.ndarray = field(default_factory=_empty)
+    fill_cell: np.ndarray = field(default_factory=_empty)
+    # counted writes of freshly generated parities
+    parity_disk: np.ndarray = field(default_factory=_empty)
+    parity_block: np.ndarray = field(default_factory=_empty)
+    parity_cell: np.ndarray = field(default_factory=_empty)
+    # reused-parity consistency audit (uncounted compare, engine step 7)
+    check_disk: np.ndarray = field(default_factory=_empty)
+    check_block: np.ndarray = field(default_factory=_empty)
+    check_cell: np.ndarray = field(default_factory=_empty)
+
+
+@dataclass(frozen=True)
+class CompiledPlan:
+    """A fully lowered conversion: phases plus the geometry they assume."""
+
+    key: tuple
+    code: ArrayCode
+    n_disks: int
+    blocks_per_disk: int
+    phases: tuple[PhaseProgram, ...]
+
+    @property
+    def rows(self) -> int:
+        return self.code.rows
+
+    @property
+    def cols(self) -> int:
+        return self.code.cols
+
+    def describe(self) -> str:
+        reads = sum(p.read_disk.size + p.migrate_src_disk.size for p in self.phases)
+        writes = sum(
+            p.parity_disk.size + p.null_disk.size + p.migrate_dst_disk.size
+            for p in self.phases
+        )
+        return (
+            f"compiled {self.key[0]}/{self.key[1]} p={self.key[2]}: "
+            f"{len(self.phases)} phase(s), {reads} reads, {writes} writes"
+        )

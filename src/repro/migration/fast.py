@@ -1,19 +1,27 @@
 """Vectorised Code 5-6 conversion: the whole array as one numpy batch.
 
+.. deprecated::
+    This module predates the general compiled execution layer.  New code
+    should build a plan and run it through
+    :func:`repro.compiled.execute_plan_compiled`, which batches *every*
+    supported (code, approach) pair — not just direct Code 5-6 — with
+    byte-identical results and identical I/O counters.  The function is
+    kept because its hand-fused XOR path is the regression baseline for
+    ``benchmarks/bench_ablation_vectorised_engine.py``.
+
 The generic engine executes group-by-group through counted single-block
 I/O — ideal for auditing, slow in Python.  A production converter would
 stream large extents; this module is that fast path for the direct
 Code 5-6 migration: every stripe-group's diagonal parities are computed
 in one batched XOR reduction per chain (shape ``(groups, block)`` per
-cell), touching each disk with bulk array slices.
-
-Produces byte-identical results to the engine (tested) at a fraction of
-the wall time (benchmarked in ``bench_ablation_vectorised_engine.py``);
-the I/O *counts* are accounted at the same per-block granularity so the
-metrics do not change — only the Python overhead does.
+cell), touching each disk with bulk array slices obtained through the
+public :meth:`BlockArray.bulk_view` API and credited through
+:meth:`BlockArray.credit_ios`.
 """
 
 from __future__ import annotations
+
+import warnings
 
 import numpy as np
 
@@ -31,7 +39,16 @@ def fast_convert_code56(array: BlockArray, p: int, groups: int | None = None) ->
     credited with the same per-block totals the audited engine performs
     (``(p-1)(p-2)`` reads per group on the data disks, ``p-1`` writes on
     the new disk).
+
+    .. deprecated:: see module docstring — prefer
+        :func:`repro.compiled.execute_plan_compiled`.
     """
+    warnings.warn(
+        "fast_convert_code56 is deprecated; use repro.compiled."
+        "execute_plan_compiled for the general batched executor",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     m = p - 1
     if array.n_disks < p:
         raise ValueError("add the new disk before converting")
@@ -44,8 +61,9 @@ def fast_convert_code56(array: BlockArray, p: int, groups: int | None = None) ->
     # Bulk view of the square region: (disk, group, row, block)
     # array storage is (disk, block, bs) with block = g*rows + r.
     bs = array.block_size
-    region = array._store[:m, : groups * rows].reshape(m, groups, rows, bs)
-    out = array._store[m, : groups * rows].reshape(groups, rows, bs)
+    span = slice(0, groups * rows)
+    region = array.bulk_view(slice(0, m), span).reshape(m, groups, rows, bs)
+    out = array.bulk_view(slice(m, m + 1), span)[0].reshape(groups, rows, bs)
 
     written = 0
     for parity_row in range(rows):
@@ -57,10 +75,12 @@ def fast_convert_code56(array: BlockArray, p: int, groups: int | None = None) ->
         written += groups
 
     # credit the counters with the per-block equivalents
-    data_cells_per_disk = np.zeros(array.n_disks, dtype=np.int64)
+    reads = np.zeros(array.n_disks, dtype=np.int64)
     for parity_row in range(rows):
         for _r, c in diagonal_chain_cells(p, parity_row):
-            data_cells_per_disk[c] += 1
-    array.reads[: array.n_disks] += data_cells_per_disk * groups
-    array.writes[m] += written
+            reads[c] += 1
+    reads *= groups
+    writes = np.zeros(array.n_disks, dtype=np.int64)
+    writes[m] = written
+    array.credit_ios(reads=reads, writes=writes)
     return written

@@ -90,11 +90,21 @@ class DiskModel:
             seek = self.seek_ms(self.cylinder_of(prev_block), self.cylinder_of(block))
         return seek + self.avg_rotational_ms + xfer
 
-    def service_ms_vector(self, blocks: np.ndarray, size_bytes: int) -> np.ndarray:
+    def service_ms_vector(
+        self,
+        blocks: np.ndarray,
+        size_bytes: int,
+        first: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Vectorised FCFS service times for a per-disk request sequence.
 
         Equivalent to chaining :meth:`service_ms` over ``blocks``; used by
         the fast closed-loop simulator at paper scale (0.6M blocks).
+
+        ``first`` (optional boolean mask) marks positions that begin a
+        fresh sequence — the head is parked at cylinder 0 there, exactly
+        as at index 0.  It lets one call cover many disks' concatenated
+        queues instead of one call per disk.
         """
         blocks = np.asarray(blocks, dtype=np.int64)
         if blocks.size == 0:
@@ -102,11 +112,13 @@ class DiskModel:
         prev = np.empty_like(blocks)
         prev[0] = -(1 << 40)  # force an initial seek from cylinder 0
         prev[1:] = blocks[:-1]
+        if first is not None:
+            prev = np.where(np.asarray(first, dtype=bool), -(1 << 40), prev)
         xfer = self.transfer_ms(size_bytes)
         sequential = blocks == prev + 1
         cyl = blocks // self.blocks_per_cylinder
         prev_cyl = np.clip(prev, 0, None) // self.blocks_per_cylinder
-        prev_cyl[0] = 0
+        prev_cyl[prev == -(1 << 40)] = 0
         # forward fly-over within a cylinder (see service_ms)
         gap = blocks - prev - 1
         flyover_ok = (gap > 0) & (cyl == prev_cyl)

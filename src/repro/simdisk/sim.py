@@ -63,29 +63,41 @@ def simulate_closed(
         raise ValueError("reorder_window must be >= 1")
     n = n_disks if n_disks is not None else trace.n_disks
     busy = np.zeros(n)
-    latencies: list[np.ndarray] = []
-    for d in range(n):
-        blocks = trace.per_disk_blocks(d)
-        if blocks.size == 0:
-            continue
-        if reorder_window is not None and reorder_window > 1:
-            blocks = blocks.copy()
-            for start in range(0, blocks.size, reorder_window):
-                window = blocks[start : start + reorder_window]
-                window.sort()
-        service = model.service_ms_vector(blocks, trace.block_size)
-        completion = np.cumsum(service)
-        busy[d] = completion[-1]
-        latencies.append(completion)
-    if not latencies:
+    disk = np.asarray(trace.disk)
+    served = disk < n
+    m = int(served.sum())
+    if m == 0:
         return SimResult(0.0, busy, 0, 0.0, 0.0)
-    lat = np.concatenate(latencies)
+    # One stable sort groups every disk's queue in arrival order —
+    # identical to per_disk_blocks(d) for each d, without the n passes.
+    arrival = np.asarray(trace.arrival_ms)[served]
+    order = np.lexsort((arrival, disk[served]))
+    d_sorted = disk[served][order]
+    blocks = np.asarray(trace.block, dtype=np.int64)[served][order]
+    first = np.empty(m, dtype=bool)  # segment starts (one segment per disk)
+    first[0] = True
+    np.not_equal(d_sorted[1:], d_sorted[:-1], out=first[1:])
+    seg_starts = np.flatnonzero(first)
+    counts = np.diff(np.append(seg_starts, m))
+    if reorder_window is not None and reorder_window > 1:
+        # bounded elevator: ascending blocks within each window of the
+        # per-disk queue — one argsort pass, no per-window copy+sort.
+        pos = np.arange(m) - np.repeat(seg_starts, counts)
+        blocks = blocks[np.lexsort((blocks, pos // reorder_window, d_sorted))]
+    service = model.service_ms_vector(blocks, trace.block_size, first=first)
+    # per-disk cumulative completion via one global cumsum minus the
+    # running total at each disk's segment start
+    cum = np.cumsum(service)
+    offset = np.where(seg_starts > 0, cum[seg_starts - 1], 0.0)
+    completion = cum - np.repeat(offset, counts)
+    seg_ends = seg_starts + counts - 1
+    busy[d_sorted[seg_starts]] = completion[seg_ends]
     return SimResult(
         makespan_ms=float(busy.max()),
         per_disk_busy_ms=busy,
         n_requests=len(trace),
-        mean_latency_ms=float(lat.mean()),
-        p99_latency_ms=float(np.percentile(lat, 99)),
+        mean_latency_ms=float(completion.mean()),
+        p99_latency_ms=float(np.percentile(completion, 99)),
     )
 
 

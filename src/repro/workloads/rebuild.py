@@ -40,21 +40,20 @@ def rebuild_trace(
     reads = sorted(plan.read_set)
     writes = sorted(plan.lost)
     rows = layout.rows
-    per_group = len(reads) + len(writes)
+    cells = reads + writes
+    per_group = len(cells)
     n = groups * per_group
 
-    disk = np.empty(n, dtype=np.int32)
-    block = np.empty(n, dtype=np.int64)
-    is_write = np.empty(n, dtype=bool)
-    i = 0
-    for g in range(groups):
-        base = g * rows
-        for r, c in reads:
-            disk[i], block[i], is_write[i] = c, base + r, False
-            i += 1
-        for r, c in writes:
-            disk[i], block[i], is_write[i] = c, base + r, True
-            i += 1
+    # one tiled per-group pattern instead of a Python loop over groups
+    pat_disk = np.array([c for _r, c in cells], dtype=np.int32)
+    pat_row = np.array([r for r, _c in cells], dtype=np.int64)
+    pat_write = np.zeros(per_group, dtype=bool)
+    pat_write[len(reads):] = True
+    disk = np.tile(pat_disk, groups)
+    block = np.tile(pat_row, groups) + np.repeat(
+        np.arange(groups, dtype=np.int64) * rows, per_group
+    )
+    is_write = np.tile(pat_write, groups)
     return Trace(
         arrival_ms=np.zeros(n),
         disk=disk,

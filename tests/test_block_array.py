@@ -57,6 +57,95 @@ class TestBasicIO:
         assert not arr.read(0, 0).any()
 
 
+class TestBulkIO:
+    def test_read_blocks_counts_and_values(self, arr, rng):
+        payloads = rng.integers(0, 256, (3, 16), dtype=np.uint8)
+        for i, (d, b) in enumerate([(0, 1), (0, 5), (2, 7)]):
+            arr.write(d, b, payloads[i])
+        arr.reset_counters()
+        got = arr.read_blocks([0, 0, 2], [1, 5, 7])
+        assert np.array_equal(got, payloads)
+        assert arr.reads.tolist() == [2, 0, 1, 0]
+        assert arr.total_writes == 0
+
+    def test_read_blocks_returns_copy(self, arr, rng):
+        payload = rng.integers(0, 256, 16, dtype=np.uint8)
+        arr.write(1, 2, payload)
+        got = arr.read_blocks([1], [2])
+        got[0, 0] ^= 0xFF
+        assert np.array_equal(arr.read(1, 2), payload)
+
+    def test_write_blocks_last_wins_and_counts_duplicates(self, arr, rng):
+        payloads = rng.integers(0, 256, (2, 16), dtype=np.uint8)
+        arr.write_blocks([3, 3], [0, 0], payloads)
+        assert np.array_equal(arr.raw(3, 0), payloads[1])  # queue order
+        assert arr.writes[3] == 2  # both physical writes counted
+
+    def test_write_zero_and_trim(self, arr, rng):
+        arr.write(0, 0, rng.integers(1, 256, 16, dtype=np.uint8))
+        arr.write(1, 1, rng.integers(1, 256, 16, dtype=np.uint8))
+        arr.reset_counters()
+        arr.write_zero_blocks([0], [0])
+        arr.trim_blocks([1], [1])
+        assert not arr.raw(0, 0).any() and not arr.raw(1, 1).any()
+        assert arr.writes.tolist() == [1, 0, 0, 0]  # trim is uncounted
+
+    def test_gather_raw_uncounted(self, arr, rng):
+        payload = rng.integers(0, 256, 16, dtype=np.uint8)
+        arr.write(2, 3, payload)
+        arr.reset_counters()
+        assert np.array_equal(arr.gather_raw([2], [3])[0], payload)
+        assert arr.total_ios == 0
+
+    def test_bulk_bounds_and_shapes(self, arr):
+        with pytest.raises(ValueError, match="same length"):
+            arr.read_blocks([0, 1], [0])
+        with pytest.raises(IndexError):
+            arr.read_blocks([4], [0])
+        with pytest.raises(IndexError):
+            arr.read_blocks([0], [8])
+        with pytest.raises(ValueError, match="payloads"):
+            arr.write_blocks([0], [0], np.zeros((2, 16), dtype=np.uint8))
+
+    def test_bulk_respects_failures(self, arr):
+        arr.fail_disk(2)
+        with pytest.raises(DiskFailure):
+            arr.read_blocks([0, 2], [0, 0])
+
+    def test_empty_bulk_is_noop(self, arr):
+        assert arr.read_blocks([], []).shape == (0, 16)
+        arr.write_blocks([], [], np.zeros((0, 16), dtype=np.uint8))
+        assert arr.total_ios == 0
+
+    def test_bulk_view_is_a_view(self, arr):
+        view = arr.bulk_view(slice(0, 2), slice(0, 4))
+        view[...] = 7
+        assert arr.raw(1, 3)[0] == 7
+        assert arr.total_ios == 0
+        with pytest.raises(TypeError):
+            arr.bulk_view([0, 1], slice(0, 4))
+
+    def test_credit_ios(self, arr):
+        arr.credit_ios(reads=[1, 2, 0, 0], writes=[0, 0, 0, 3])
+        assert arr.reads.tolist() == [1, 2, 0, 0]
+        assert arr.writes[3] == 3
+        with pytest.raises(ValueError, match="shape"):
+            arr.credit_ios(reads=[1, 2])
+        with pytest.raises(ValueError, match="non-negative"):
+            arr.credit_ios(writes=[0, 0, -1, 0])
+
+    def test_restore(self, arr, rng):
+        arr.write(0, 0, rng.integers(1, 256, 16, dtype=np.uint8))
+        snap = arr.snapshot()
+        arr.write_zero(0, 0)
+        arr.reset_counters()
+        arr.restore(snap)
+        assert np.array_equal(arr.snapshot(), snap)
+        assert arr.total_ios == 0
+        with pytest.raises(ValueError, match="shape"):
+            arr.restore(snap[:1])
+
+
 class TestFailures:
     def test_failed_disk_rejects_io(self, arr, rng):
         arr.fail_disk(1)

@@ -42,6 +42,14 @@ class TestInProcess:
         assert run_cli("convert", "rdp", "via-raid4", "--p", "5") == 0
         assert "verified: True" in capsys.readouterr().out
 
+    def test_convert_compiled_engine(self, capsys):
+        assert run_cli(
+            "convert", "code56", "direct", "--p", "5", "--engine", "compiled"
+        ) == 0
+        out = capsys.readouterr().out
+        assert "verified: True" in out
+        assert "total=1.333" in out
+
     def test_recover(self, capsys):
         assert run_cli("recover", "code56", "--p", "5", "--column", "1") == 0
         assert "hybrid=9" in capsys.readouterr().out

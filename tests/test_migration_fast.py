@@ -6,6 +6,10 @@ import pytest
 from repro.migration import build_plan, execute_plan, prepare_source_array
 from repro.migration.fast import fast_convert_code56
 
+# fast_convert_code56 is deprecated in favour of repro.compiled but kept
+# as the regression baseline; its warning is expected here.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 @pytest.mark.parametrize("p", [5, 7, 11])
 @pytest.mark.parametrize("groups", [1, 4])

@@ -80,6 +80,26 @@ class TestVectorised:
     def test_empty(self, disk):
         assert disk.service_ms_vector(np.array([], dtype=np.int64), 4096).size == 0
 
+    def test_first_mask_splits_into_fresh_sequences(self, disk, rng):
+        """One call over concatenated queues == one call per queue."""
+        a = rng.integers(0, 1_000_000, size=40)
+        b = rng.integers(0, 1_000_000, size=25)
+        joined = np.concatenate([a, b])
+        first = np.zeros(joined.size, dtype=bool)
+        first[0] = first[a.size] = True
+        vec = disk.service_ms_vector(joined, 4096, first=first)
+        assert np.allclose(vec[: a.size], disk.service_ms_vector(a, 4096))
+        assert np.allclose(vec[a.size :], disk.service_ms_vector(b, 4096))
+
+    def test_first_mask_default_is_index_zero(self, disk, rng):
+        blocks = rng.integers(0, 1_000_000, size=50)
+        first = np.zeros(blocks.size, dtype=bool)
+        first[0] = True
+        assert np.allclose(
+            disk.service_ms_vector(blocks, 4096, first=first),
+            disk.service_ms_vector(blocks, 4096),
+        )
+
 
 class TestPresets:
     def test_known_presets(self):

@@ -164,3 +164,73 @@ class TestReorderWindow:
         blocks = np.sort(trace.per_disk_blocks(0))
         expect = model.service_ms_vector(blocks, trace.block_size).sum()
         assert res.makespan_ms == pytest.approx(expect)
+
+    def test_matches_per_window_reference(self, model, rng):
+        """The single-lexsort pass equals the explicit per-window sort."""
+        trace = closed_trace(rng, n=500, disks=4)
+        for window in (2, 7, 64):
+            res = simulate_closed(trace, model, reorder_window=window)
+            busy = np.zeros(4)
+            lats = []
+            for d in range(4):
+                blocks = trace.per_disk_blocks(d).copy()
+                for s in range(0, blocks.size, window):
+                    blocks[s : s + window].sort()
+                comp = np.cumsum(model.service_ms_vector(blocks, trace.block_size))
+                busy[d] = comp[-1]
+                lats.append(comp)
+            assert np.allclose(res.per_disk_busy_ms, busy)
+            lat = np.concatenate(lats)
+            assert res.mean_latency_ms == pytest.approx(lat.mean())
+            assert res.p99_latency_ms == pytest.approx(np.percentile(lat, 99))
+
+
+class TestVectorisedClosedLoop:
+    def test_staggered_arrivals_keep_stable_order(self, model, rng):
+        """Ties in arrival_ms must replay in trace order (stable sort)."""
+        n = 300
+        trace = Trace(
+            arrival_ms=rng.integers(0, 5, n).astype(np.float64),
+            disk=rng.integers(0, 3, n).astype(np.int32),
+            block=rng.integers(0, 500_000, n),
+            is_write=np.zeros(n, dtype=bool),
+            block_size=4096,
+        )
+        res = simulate_closed(trace, model)
+        busy = np.zeros(3)
+        for d in range(3):
+            blocks = trace.per_disk_blocks(d)
+            busy[d] = model.service_ms_vector(blocks, trace.block_size).sum()
+        assert np.allclose(res.per_disk_busy_ms, busy)
+
+    def test_requests_beyond_n_disks_are_dropped(self, model, rng):
+        trace = closed_trace(rng, n=100, disks=6)
+        res = simulate_closed(trace, model, n_disks=3)
+        assert res.per_disk_busy_ms.shape == (3,)
+        ref = np.zeros(3)
+        for d in range(3):
+            ref[d] = model.service_ms_vector(
+                trace.per_disk_blocks(d), trace.block_size
+            ).sum()
+        assert np.allclose(res.per_disk_busy_ms, ref)
+
+    def test_all_requests_dropped(self, model):
+        trace = Trace(
+            arrival_ms=np.zeros(2),
+            disk=np.array([5, 6], dtype=np.int32),
+            block=np.array([0, 1], dtype=np.int64),
+            is_write=np.zeros(2, dtype=bool),
+        )
+        res = simulate_closed(trace, model, n_disks=3)
+        assert res.n_requests == 0 and res.makespan_ms == 0.0
+
+    def test_idle_disks_report_zero_busy(self, model):
+        trace = Trace(
+            arrival_ms=np.zeros(3),
+            disk=np.array([2, 2, 2], dtype=np.int32),
+            block=np.array([5, 1, 9], dtype=np.int64),
+            is_write=np.zeros(3, dtype=bool),
+        )
+        res = simulate_closed(trace, model, n_disks=4)
+        assert res.per_disk_busy_ms[0] == 0.0
+        assert res.per_disk_busy_ms[2] > 0.0
