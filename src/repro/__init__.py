@@ -51,6 +51,7 @@ from repro.migration import (
     prepare_source_array,
     verify_conversion,
 )
+from repro import obs
 from repro.raid import BlockArray, Raid5Array, Raid5Layout, Raid6Array
 from repro.simdisk import DiskArraySimulator, DiskModel, get_preset, simulate_closed
 from repro.workloads import Trace, conversion_trace, uniform_trace
@@ -59,6 +60,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # observability
+    "obs",
     # codes
     "ArrayCode",
     "CodeLayout",

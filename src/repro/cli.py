@@ -3,6 +3,12 @@
 Operational front-end over the library — inspect layouts, certify codes,
 run verified conversions, and replay migrations through the disk
 simulator without writing any Python.
+
+Observability: ``convert`` and ``simulate`` accept ``--trace out.json``
+(Chrome trace-event JSON viewable in Perfetto: real plan/compile/execute/
+verify spans plus one simulated-activity track per disk) and
+``--metrics`` (metrics snapshot dump); ``stats`` summarises a saved
+trace file.
 """
 
 from __future__ import annotations
@@ -11,6 +17,17 @@ import argparse
 import sys
 
 import numpy as np
+
+
+def _package_version() -> str:
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        from repro import __version__
+
+        return __version__
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -57,6 +74,7 @@ def _cmd_certify(args: argparse.Namespace) -> int:
 
 
 def _cmd_convert(args: argparse.Namespace) -> int:
+    from repro import obs
     from repro.analysis import metrics_from_plan
     from repro.migration import (
         build_plan,
@@ -66,63 +84,185 @@ def _cmd_convert(args: argparse.Namespace) -> int:
     )
     from repro.migration.approaches import alignment_cycle
 
-    groups = args.groups or alignment_cycle(args.code, args.p, args.n)
-    plan = build_plan(args.code, args.approach, args.p, groups=groups, n_disks=args.n)
-    rng = np.random.default_rng(args.seed)
-    array, data = prepare_source_array(plan, rng, block_size=args.block_size)
-    if args.engine == "compiled":
-        from repro.compiled import execute_plan_compiled
+    code = args.code_opt or args.code
+    approach = args.approach_opt or args.approach
+    if code is None or approach is None:
+        print("convert: code and approach are required "
+              "(positional or --code/--approach)", file=sys.stderr)
+        return 2
 
-        result = execute_plan_compiled(plan, array, data)
-    else:
-        result = execute_plan(plan, array, data)
-    ok = verify_conversion(result, rng)
-    m = metrics_from_plan(plan)
-    print(plan.describe())
-    print(f"verified: {ok}")
-    print(f"ratios (of B): invalid={m.invalid_parity_ratio:.3f} "
-          f"migrated={m.migration_ratio:.3f} new={m.new_parity_ratio:.3f} "
-          f"extra-space={m.extra_space_ratio:.3f}")
-    print(f"costs  (of B): xors={m.computation_cost:.3f} writes={m.write_ios:.3f} "
-          f"total={m.total_ios:.3f} time-nlb={m.time_nlb:.3f} time-lb={m.time_lb:.3f}")
-    return 0 if ok else 1
+    tracer = obs.get_tracer()
+    registry = obs.get_registry()
+    observing = args.trace is not None or args.metrics is not None
+    if args.trace is not None:
+        tracer.clear()
+        tracer.enable()
+    if observing:
+        registry.clear()
+        registry.enabled = True
+    try:
+        with tracer.span("plan", cat="cli", code=code, approach=approach, p=args.p):
+            groups = args.groups or alignment_cycle(code, args.p, args.n)
+            plan = build_plan(code, approach, args.p, groups=groups, n_disks=args.n)
+        rng = np.random.default_rng(args.seed)
+        with tracer.span("prepare", cat="cli", blocks=plan.data_blocks):
+            array, data = prepare_source_array(plan, rng, block_size=args.block_size)
+        if args.engine == "compiled":
+            from repro.compiled import compile_plan, execute_plan_compiled
+
+            with tracer.span("compile", cat="cli"):
+                program = compile_plan(plan)
+            result = execute_plan_compiled(plan, array, data, program=program)
+        else:
+            result = execute_plan(plan, array, data)
+        ok = verify_conversion(result, rng)
+
+        schedule = None
+        if args.trace is not None:
+            from repro.simdisk import closed_request_schedule, get_preset, simulate_closed
+            from repro.workloads import conversion_trace
+
+            with tracer.span("timeline", cat="cli", disk=args.disk):
+                stream = conversion_trace(plan, block_size=4096)
+                model = get_preset(args.disk)
+                schedule = closed_request_schedule(stream, model)
+                sim_res = simulate_closed(stream, model)
+            obs.record_sim_result(sim_res, registry, prefix="sim")
+        if observing:
+            obs.record_conversion(result, registry)
+            obs.record_compiler_cache(registry)
+
+        m = metrics_from_plan(plan)
+        print(plan.describe())
+        print(f"verified: {ok}")
+        print(f"ratios (of B): invalid={m.invalid_parity_ratio:.3f} "
+              f"migrated={m.migration_ratio:.3f} new={m.new_parity_ratio:.3f} "
+              f"extra-space={m.extra_space_ratio:.3f}")
+        print(f"costs  (of B): xors={m.computation_cost:.3f} writes={m.write_ios:.3f} "
+              f"total={m.total_ios:.3f} time-nlb={m.time_nlb:.3f} time-lb={m.time_lb:.3f}")
+
+        if args.trace is not None:
+            doc = obs.write_chrome_trace(
+                args.trace,
+                spans=tracer.spans,
+                schedule=schedule,
+                metrics=registry.snapshot(),
+                meta={"command": "convert", "code": code, "approach": approach,
+                      "p": args.p, "engine": args.engine},
+            )
+            print(f"trace: {args.trace} ({len(doc['traceEvents'])} events; "
+                  f"open in https://ui.perfetto.dev)")
+        if args.metrics is not None:
+            if args.metrics != "-":
+                from pathlib import Path
+
+                Path(args.metrics).write_text(registry.render_json() + "\n")
+                print(f"metrics: {args.metrics}")
+            print("-- metrics snapshot --")
+            print(registry.render_text())
+        return 0 if ok else 1
+    finally:
+        if args.trace is not None:
+            tracer.disable()
+        if observing:
+            registry.enabled = False
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro import obs
     from repro.analysis.costmodel import comparison_width
     from repro.migration import build_plan, supported_conversions
     from repro.migration.approaches import alignment_cycle
-    from repro.simdisk import get_preset, simulate_closed
+    from repro.simdisk import closed_request_schedule, get_preset, simulate_closed
     from repro.workloads import conversion_trace
 
-    model = get_preset(args.disk)
-    rows = []
-    for code, approach in supported_conversions():
-        if code == "code56-right":
-            continue
-        try:
-            n = comparison_width(code, args.p)
-            plan = build_plan(
-                code, approach, args.p,
-                groups=alignment_cycle(code, args.p, n), n_disks=n,
+    tracer = obs.get_tracer()
+    registry = obs.get_registry()
+    observing = args.trace is not None or args.metrics is not None
+    if args.trace is not None:
+        tracer.clear()
+        tracer.enable()
+    if observing:
+        registry.clear()
+        registry.enabled = True
+    try:
+        model = get_preset(args.disk)
+        rows = []
+        export = None  # (label, trace) rendered into --trace disk tracks
+        for code, approach in supported_conversions():
+            if code == "code56-right":
+                continue
+            try:
+                n = comparison_width(code, args.p)
+                plan = build_plan(
+                    code, approach, args.p,
+                    groups=alignment_cycle(code, args.p, n), n_disks=n,
+                )
+            except ValueError:
+                continue
+            trace = conversion_trace(
+                plan,
+                total_data_blocks=args.blocks,
+                block_size=args.block_size,
+                lb_rotation_period=args.lb,
             )
-        except ValueError:
-            continue
-        trace = conversion_trace(
-            plan,
-            total_data_blocks=args.blocks,
-            block_size=args.block_size,
-            lb_rotation_period=args.lb,
-        )
-        res = simulate_closed(trace, model)
-        rows.append((f"{approach}({code})", res.makespan_s))
-    rows.sort(key=lambda r: r[1])
-    print(f"simulated conversion makespan: p={args.p}, B={args.blocks}, "
-          f"bs={args.block_size}, disk={args.disk}, "
-          f"{'LB period ' + str(args.lb) if args.lb else 'NLB'}")
-    base = rows[0][1]
-    for label, secs in rows:
-        print(f"  {label:>36}: {secs:9.1f}s ({secs / base:5.2f}x)")
+            label = f"{approach}({code})"
+            with tracer.span("simulate", cat="cli", config=label, requests=len(trace)):
+                res = simulate_closed(trace, model)
+            if observing:
+                obs.record_sim_result(res, registry, prefix=f"sim.{label}")
+            if export is None or (code, approach) == ("code56", "direct"):
+                export = (label, trace)
+            rows.append((label, res.makespan_s))
+        rows.sort(key=lambda r: r[1])
+        print(f"simulated conversion makespan: p={args.p}, B={args.blocks}, "
+              f"bs={args.block_size}, disk={args.disk}, "
+              f"{'LB period ' + str(args.lb) if args.lb else 'NLB'}")
+        base = rows[0][1]
+        for label, secs in rows:
+            print(f"  {label:>36}: {secs:9.1f}s ({secs / base:5.2f}x)")
+        if args.trace is not None and export is not None:
+            label, trace = export
+            with tracer.span("timeline", cat="cli", config=label):
+                schedule = closed_request_schedule(trace, model)
+            doc = obs.write_chrome_trace(
+                args.trace,
+                spans=tracer.spans,
+                schedule=schedule,
+                metrics=registry.snapshot(),
+                meta={"command": "simulate", "config": label, "p": args.p,
+                      "disk": args.disk, "blocks": args.blocks},
+            )
+            print(f"trace: {args.trace} ({len(doc['traceEvents'])} events, "
+                  f"disk tracks: {label})")
+        if args.metrics is not None:
+            if args.metrics != "-":
+                from pathlib import Path
+
+                Path(args.metrics).write_text(registry.render_json() + "\n")
+                print(f"metrics: {args.metrics}")
+            print("-- metrics snapshot --")
+            print(registry.render_text())
+        return 0
+    finally:
+        if args.trace is not None:
+            tracer.disable()
+        if observing:
+            registry.enabled = False
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs import render_summary, summarise_trace
+
+    try:
+        summary = summarise_trace(args.trace_file)
+    except FileNotFoundError:
+        print(f"stats: {args.trace_file}: no such file", file=sys.stderr)
+        return 1
+    except ValueError as exc:  # includes JSONDecodeError
+        print(f"stats: {args.trace_file}: {exc}", file=sys.stderr)
+        return 1
+    print(render_summary(summary, top=args.top))
     return 0
 
 
@@ -181,6 +321,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Code 5-6 RAID level migration (ICPP 2015 reproduction)",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {_package_version()}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_info = sub.add_parser("info", help="list registered codes")
@@ -202,15 +345,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_cert.set_defaults(func=_cmd_certify)
 
     p_conv = sub.add_parser("convert", help="run + verify a conversion")
-    p_conv.add_argument("code")
-    p_conv.add_argument("approach", choices=["direct", "via-raid0", "via-raid4"])
+    p_conv.add_argument("code", nargs="?", default=None)
+    p_conv.add_argument("approach", nargs="?",
+                        choices=["direct", "via-raid0", "via-raid4"], default=None)
+    p_conv.add_argument("--code", dest="code_opt", default=None,
+                        help="alternative to the positional code")
+    p_conv.add_argument("--approach", dest="approach_opt", default=None,
+                        choices=["direct", "via-raid0", "via-raid4"],
+                        help="alternative to the positional approach")
     p_conv.add_argument("--p", type=int, default=5)
     p_conv.add_argument("--n", type=int, default=None)
     p_conv.add_argument("--groups", type=int, default=None)
     p_conv.add_argument("--block-size", type=int, default=16)
     p_conv.add_argument("--seed", type=int, default=0)
-    p_conv.add_argument("--engine", choices=["audited", "compiled"], default="audited",
-                        help="per-block audited engine or batched compiled executor")
+    p_conv.add_argument("--engine", choices=["audited", "compiled"], default="compiled",
+                        help="batched compiled executor (default) or per-block audited engine")
+    p_conv.add_argument("--disk", default="sata-7200",
+                        help="disk preset for the --trace simulated timeline")
+    p_conv.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a Perfetto-viewable Chrome trace-event JSON")
+    p_conv.add_argument("--metrics", nargs="?", const="-", default=None, metavar="PATH",
+                        help="dump the metrics snapshot (optionally also as JSON to PATH)")
     p_conv.set_defaults(func=_cmd_convert)
 
     p_sim = sub.add_parser("simulate", help="simulated conversion makespans")
@@ -220,7 +375,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--disk", default="sata-7200")
     p_sim.add_argument("--lb", type=int, default=16,
                        help="LB rotation period (0 = dedicated layout)")
+    p_sim.add_argument("--trace", default=None, metavar="PATH",
+                       help="write a Chrome trace-event JSON (disk tracks for "
+                            "the direct(code56) configuration)")
+    p_sim.add_argument("--metrics", nargs="?", const="-", default=None, metavar="PATH",
+                       help="dump the metrics snapshot (optionally also as JSON to PATH)")
     p_sim.set_defaults(func=_cmd_simulate)
+
+    p_stats = sub.add_parser("stats", help="summarise a saved --trace JSON")
+    p_stats.add_argument("trace_file")
+    p_stats.add_argument("--top", type=int, default=15,
+                         help="span names to list, by total wall time")
+    p_stats.set_defaults(func=_cmd_stats)
 
     p_rec = sub.add_parser("recover", help="hybrid single-disk recovery stats")
     p_rec.add_argument("code")

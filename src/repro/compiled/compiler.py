@@ -49,6 +49,10 @@ class UnsupportedPlanError(ValueError):
 _MIGRATE, _NULL, _TRIM, _PARITY = range(4)
 
 _CACHE: dict[tuple, CompiledPlan] = {}
+#: module-lifetime cache outcomes (mirrored into the repro.obs registry
+#: by record_compiler_cache; kept here so clearing the registry cannot
+#: lose the authoritative numbers)
+_CACHE_STATS = {"hits": 0, "misses": 0}
 
 
 def plan_cache_key(plan: ConversionPlan) -> tuple:
@@ -67,18 +71,21 @@ def plan_cache_key(plan: ConversionPlan) -> tuple:
 
 
 def clear_program_cache() -> None:
+    """Drop compiled programs (hit/miss stats survive; see _CACHE_STATS)."""
     _CACHE.clear()
 
 
 def program_cache_info() -> dict[str, int]:
-    return {"entries": len(_CACHE)}
+    return {"entries": len(_CACHE), **_CACHE_STATS}
 
 
 def compile_plan(plan: ConversionPlan, use_cache: bool = True) -> CompiledPlan:
     """Compile ``plan`` (cached); raises :class:`UnsupportedPlanError`."""
     key = plan_cache_key(plan)
     if use_cache and key in _CACHE:
+        _CACHE_STATS["hits"] += 1
         return _CACHE[key]
+    _CACHE_STATS["misses"] += 1
     by_phase: dict[int, list[GroupWork]] = defaultdict(list)
     for gw in sorted(plan.group_works, key=lambda g: (g.phase, g.group)):
         by_phase[gw.phase].append(gw)

@@ -18,6 +18,7 @@ from repro.compiled.compiler import compile_plan
 from repro.compiled.program import CompiledPlan, PhaseProgram
 from repro.migration.engine import ConversionResult
 from repro.migration.plan import ConversionPlan
+from repro.obs.tracer import get_tracer
 from repro.raid.array import BlockArray
 
 __all__ = ["execute_compiled", "execute_plan_compiled"]
@@ -70,8 +71,14 @@ def execute_compiled(program: CompiledPlan, array: BlockArray) -> None:
             f"array geometry {(array.n_disks, array.blocks_per_disk)} does not "
             f"match program {(program.n_disks, program.blocks_per_disk)}"
         )
+    tracer = get_tracer()
     for ph in program.phases:
-        _run_phase(program, ph, array)
+        with tracer.span(
+            f"phase{ph.phase}", cat="compiled.phase", phase=ph.phase, batch=ph.batch,
+            migrates=int(ph.migrate_src_disk.size), nulls=int(ph.null_disk.size),
+            parities=int(ph.parity_disk.size),
+        ):
+            _run_phase(program, ph, array)
 
 
 def execute_plan_compiled(
@@ -87,10 +94,19 @@ def execute_plan_compiled(
     the plan cannot be batched faithfully — fall back to the audited
     engine in that case.
     """
+    tracer = get_tracer()
     if program is None:
-        program = compile_plan(plan)
+        with tracer.span(
+            "compile", cat="compiled", code=plan.code.name, approach=plan.approach,
+            groups=plan.groups,
+        ):
+            program = compile_plan(plan)
     array.reset_counters()
-    execute_compiled(program, array)
+    with tracer.span(
+        "execute", cat="compiled", engine="compiled", code=plan.code.name,
+        approach=plan.approach, groups=plan.groups,
+    ):
+        execute_compiled(program, array)
     return ConversionResult(
         array=array,
         plan=plan,

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.codes.decoder import apply_recovery_plan
 from repro.migration.plan import ConversionPlan, GroupWork
+from repro.obs.tracer import get_tracer
 from repro.raid.array import BlockArray
 from repro.raid.raid5 import Raid5Array
 
@@ -136,9 +137,18 @@ def execute_plan(
     data: np.ndarray,
 ) -> ConversionResult:
     """Run every group-work item in phase order; returns measured I/O."""
+    tracer = get_tracer()
     array.reset_counters()
-    for gw in sorted(plan.group_works, key=lambda g: (g.phase, g.group)):
-        _execute_group(plan, gw, array)
+    with tracer.span(
+        "execute", cat="engine", engine="audited",
+        code=plan.code.name, approach=plan.approach, groups=plan.groups,
+    ):
+        for gw in sorted(plan.group_works, key=lambda g: (g.phase, g.group)):
+            with tracer.span(
+                f"phase{gw.phase}.group{gw.group}", cat="engine.group",
+                phase=gw.phase, group=gw.group,
+            ):
+                _execute_group(plan, gw, array)
     return ConversionResult(
         array=array,
         plan=plan,
@@ -177,37 +187,45 @@ def verify_conversion(
     # imported here: repro.compiled imports this module for ConversionResult
     from repro.compiled.recovery import assemble_all_groups, batch_recover_columns
 
+    tracer = get_tracer()
     plan, array, data = result.plan, result.array, result.data
     code = plan.code
-    # 1. every logical block intact (one gather against the ground truth)
-    if plan.data_locations:
-        lbas, disks, blocks = [], [], []
-        for lba, (group, cell) in plan.data_locations.items():
-            loc = plan.cell_locations[(group, cell)]
-            lbas.append(lba)
-            disks.append(loc.disk)
-            blocks.append(loc.block)
-        if not np.array_equal(array.gather_raw(disks, blocks), data[np.asarray(lbas)]):
+    with tracer.span(
+        "verify", cat="engine", code=plan.code.name, approach=plan.approach,
+        groups=plan.groups, trials=failure_trials,
+    ):
+        # 1. every logical block intact (one gather against the ground truth)
+        with tracer.span("verify.data", cat="engine"):
+            if plan.data_locations:
+                lbas, disks, blocks = [], [], []
+                for lba, (group, cell) in plan.data_locations.items():
+                    loc = plan.cell_locations[(group, cell)]
+                    lbas.append(lba)
+                    disks.append(loc.disk)
+                    blocks.append(loc.block)
+                if not np.array_equal(array.gather_raw(disks, blocks), data[np.asarray(lbas)]):
+                    return False
+        # 2. every stripe-group parity-consistent (one batched verify)
+        with tracer.span("verify.parity", cat="engine"):
+            stripes = assemble_all_groups(plan, array)
+            if not code.verify(stripes):
+                return False
+        # 3. double-failure recoverability on real payloads, all groups per trial
+        if rng is None:
+            rng = np.random.default_rng(0)
+        cols = code.layout.physical_cols
+        with tracer.span("verify.recovery", cat="engine", trials=failure_trials):
+            for _ in range(failure_trials):
+                f1, f2 = rng.choice(len(cols), size=2, replace=False)
+                c1, c2 = cols[int(f1)], cols[int(f2)]
+                recovery = code.plan_column_recovery(c1, c2)
+                broken = stripes.copy()
+                batch_recover_columns(recovery, broken, c1, c2)
+                if not np.array_equal(broken, stripes):
+                    return False
+        # 4. measured I/O == planned I/O
+        if result.measured_reads != plan.read_ios:
             return False
-    # 2. every stripe-group parity-consistent (one batched verify)
-    stripes = assemble_all_groups(plan, array)
-    if not code.verify(stripes):
-        return False
-    # 3. double-failure recoverability on real payloads, all groups per trial
-    if rng is None:
-        rng = np.random.default_rng(0)
-    cols = code.layout.physical_cols
-    for _ in range(failure_trials):
-        f1, f2 = rng.choice(len(cols), size=2, replace=False)
-        c1, c2 = cols[int(f1)], cols[int(f2)]
-        recovery = code.plan_column_recovery(c1, c2)
-        broken = stripes.copy()
-        batch_recover_columns(recovery, broken, c1, c2)
-        if not np.array_equal(broken, stripes):
+        if result.measured_writes != plan.write_ios:
             return False
-    # 4. measured I/O == planned I/O
-    if result.measured_reads != plan.read_ios:
-        return False
-    if result.measured_writes != plan.write_ios:
-        return False
-    return True
+        return True

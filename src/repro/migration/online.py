@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.codes.code56 import diagonal_chain_cells
 from repro.codes.registry import get_code
+from repro.obs.tracer import get_tracer
 from repro.raid.array import BlockArray
 from repro.raid.layouts import Raid5Layout, locate_block, parity_disk
 
@@ -133,6 +134,7 @@ class OnlineCode56Conversion:
         the hot-added diagonal disk aborts with ``RuntimeError`` (replace
         it and restart; nothing on the old disks was touched).
         """
+        tracer = get_tracer()
         report = OnlineReport()
         events: list[tuple[float, int, object]] = [
             (r.time, 1, r) for r in requests
@@ -148,6 +150,9 @@ class OnlineCode56Conversion:
             clock = self._convert_until(event.time, clock, report)
             clock = max(clock, event.time)
             if isinstance(event, DiskFailureEvent):
+                tracer.instant(
+                    "disk-failure", cat="online", track="application", disk=event.disk
+                )
                 if event.disk == self.m:
                     raise RuntimeError(
                         "the new diagonal-parity disk failed mid-conversion; "
@@ -157,7 +162,12 @@ class OnlineCode56Conversion:
                 report.failures_survived += 1
                 continue
             start = clock
-            clock = self._serve(event, clock, report)
+            with tracer.span(
+                "app.write" if event.is_write else "app.read",
+                cat="online", track="application", lba=event.lba, tick=start,
+            ) as span:
+                clock = self._serve(event, clock, report)
+                span.set(ticks=clock - start)
             report.request_latencies.append(clock - start)
         # drain the remaining conversion work
         clock = self._convert_until(float("inf"), clock, report)
@@ -170,18 +180,28 @@ class OnlineCode56Conversion:
     # --------------------------------------------------- conversion thread
     def _convert_until(self, deadline: float, clock: float, report: OnlineReport) -> float:
         total = self.groups * self.rows
-        while self._cursor < total:
-            group, row = divmod(self._cursor, self.rows)
-            if self._generated[group, row]:
+        if self._cursor >= total:
+            return clock
+        start_tick, start_parities = clock, int(self._generated.sum())
+        with get_tracer().span(
+            "convert", cat="online", track="conversion", tick=clock,
+        ) as span:
+            while self._cursor < total:
+                group, row = divmod(self._cursor, self.rows)
+                if self._generated[group, row]:
+                    self._cursor += 1
+                    continue
+                cost = self._generate_parity(group, row, report)
+                report.conversion_ticks += cost
+                clock += cost
+                self._generated[group, row] = True
                 self._cursor += 1
-                continue
-            cost = self._generate_parity(group, row, report)
-            report.conversion_ticks += cost
-            clock += cost
-            self._generated[group, row] = True
-            self._cursor += 1
-            if clock >= deadline:
-                break
+                if clock >= deadline:
+                    break
+            span.set(
+                ticks=clock - start_tick,
+                parities=int(self._generated.sum()) - start_parities,
+            )
         return clock
 
     def _read_block(self, disk: int, block: int, report: OnlineReport) -> tuple[np.ndarray, int]:

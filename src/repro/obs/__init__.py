@@ -1,0 +1,107 @@
+"""repro.obs — structured tracing, metrics and Perfetto timelines.
+
+Zero-dependency observability for every execution layer:
+
+* :mod:`repro.obs.metrics` — a labelled Counter/Gauge/Histogram registry
+  (snapshot / reset / Prometheus-style text) absorbing the counters that
+  used to live ad hoc on ``BlockArray``, the plan compiler and
+  ``simdisk``;
+* :mod:`repro.obs.tracer` — nestable ``perf_counter`` spans with logical
+  tracks, no-op cheap when disabled;
+* :mod:`repro.obs.timeline` — Chrome trace-event JSON export (viewable
+  in Perfetto) of real spans plus simulated per-disk activity with
+  seek/rotate/transfer breakdown;
+* :mod:`repro.obs.record` — post-run bridges copying subsystem tallies
+  into the registry;
+* :mod:`repro.obs.stats` — the ``repro stats`` trace summariser.
+
+Typical use::
+
+    from repro import obs
+
+    obs.enable()                         # tracing + hot-path metrics on
+    ... run a conversion / simulation ...
+    obs.write_chrome_trace("out.json", spans=obs.get_tracer().spans)
+    print(obs.get_registry().render_text())
+    obs.disable()
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.obs.record import (
+    record_array_io,
+    record_compiler_cache,
+    record_conversion,
+    record_sim_result,
+)
+from repro.obs.stats import render_summary, summarise_trace
+from repro.obs.timeline import (
+    build_chrome_trace,
+    disk_events,
+    load_chrome_trace,
+    span_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.tracer import Span, SpanRecord, Tracer, get_tracer, set_tracer
+
+__all__ = [
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "get_registry",
+    "set_registry",
+    # tracing
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    # timeline export
+    "build_chrome_trace",
+    "write_chrome_trace",
+    "load_chrome_trace",
+    "validate_chrome_trace",
+    "span_events",
+    "disk_events",
+    # recording bridges
+    "record_array_io",
+    "record_compiler_cache",
+    "record_conversion",
+    "record_sim_result",
+    # stats
+    "summarise_trace",
+    "render_summary",
+    # switches
+    "enable",
+    "disable",
+    "is_enabled",
+]
+
+
+def enable(tracing: bool = True, metrics: bool = True) -> None:
+    """Turn on span collection and hot-path metrics on the defaults."""
+    if tracing:
+        get_tracer().enable()
+    if metrics:
+        get_registry().enabled = True
+
+
+def disable() -> None:
+    """Turn off span collection and hot-path metrics on the defaults."""
+    get_tracer().disable()
+    get_registry().enabled = False
+
+
+def is_enabled() -> bool:
+    return get_tracer().enabled or get_registry().enabled

@@ -1,0 +1,319 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+Zero-dependency (stdlib + numpy) process-local metrics, in the spirit of
+a Prometheus client but sized for a reproduction harness: a
+:class:`MetricsRegistry` hands out labelled :class:`Counter` /
+:class:`Gauge` / :class:`Histogram` instruments keyed by ``(name,
+labels)``, snapshots to plain dicts (JSON-ready), renders a
+Prometheus-style text exposition, and resets between runs.
+
+The registry absorbs the ad-hoc counters that previously lived on their
+subsystems — :class:`~repro.raid.array.BlockArray` per-disk I/O tallies,
+the plan-compiler cache hits/misses, ``simdisk`` queue depths and busy
+time — into one queryable namespace (see :mod:`repro.obs.record` for the
+bridge functions).
+
+Instruments are cheap (one dict hit to obtain, one add to update) but
+ambient *hot-path* collection is additionally gated on
+``registry.enabled`` so that instrumented inner loops cost a single
+attribute check when observability is off.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "get_registry",
+    "set_registry",
+]
+
+#: default histogram buckets (upper bounds, ms) — spans five orders of
+#: magnitude so both sub-ms compiled phases and multi-second simulated
+#: makespans land in a resolvable bucket.
+DEFAULT_LATENCY_BUCKETS_MS: tuple[float, ...] = (
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+    25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+)
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "labels": dict(self.labels), "value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (busy time, queue depth, ratio)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "labels": dict(self.labels), "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with percentile estimation.
+
+    Buckets are upper bounds; observations above the last bound land in
+    an overflow bucket.  Percentiles interpolate linearly within the
+    winning bucket (the overflow bucket reports its lower bound), which
+    is the usual fixed-bucket estimator: exact ranking, bounded value
+    error of one bucket width.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "counts", "count", "sum", "_min", "_max")
+
+    def __init__(self, name: str, labels: dict, buckets: Iterable[float] | None = None):
+        self.name = name
+        self.labels = labels
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_LATENCY_BUCKETS_MS
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("buckets must be a non-empty ascending sequence")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1 overflow
+        self.count = 0
+        self.sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:  # bisect over the bounds
+            mid = (lo + hi) // 2
+            if value <= self.bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        self.counts[lo] += 1
+        self.count += 1
+        self.sum += value
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    def observe_many(self, values) -> None:
+        for v in values:
+            self.observe(float(v))
+
+    # -------------------------------------------------------------- queries
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self.count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-th percentile (``0 <= q <= 100``)."""
+        if not 0 <= q <= 100:
+            raise ValueError("q must be in [0, 100]")
+        if self.count == 0:
+            return 0.0
+        rank = q / 100.0 * self.count
+        cum = 0
+        for i, c in enumerate(self.counts):
+            if c == 0:
+                continue
+            if cum + c >= rank:
+                lo = self.bounds[i - 1] if i > 0 else 0.0
+                if i >= len(self.bounds):  # overflow bucket
+                    return max(self.bounds[-1], self._min)
+                hi = self.bounds[i]
+                frac = (rank - cum) / c
+                return lo + (hi - lo) * min(max(frac, 0.0), 1.0)
+            cum += c
+        return self._max
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "buckets": {
+                **{str(b): c for b, c in zip(self.bounds, self.counts)},
+                "+Inf": self.counts[-1],
+            },
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store of labelled instruments.
+
+    ``enabled`` is an advisory flag for *hot-path* instrumentation
+    (per-request loops check it once and skip collection when off);
+    explicit recording — the CLI's ``--metrics`` bridge functions, user
+    code — works regardless.
+    """
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self._metrics: dict[tuple, Counter | Gauge | Histogram] = {}
+
+    # ------------------------------------------------------------- creation
+    def _get(self, cls, name: str, labels: dict, **kwargs):
+        key = (cls.__name__, name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, labels, **kwargs)
+            self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, buckets: Iterable[float] | None = None, **labels) -> Histogram:
+        key = ("Histogram", name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = Histogram(name, labels, buckets=buckets)
+            self._metrics[key] = metric
+        return metric
+
+    # -------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def snapshot(self) -> dict:
+        """JSON-ready view: ``{"counters": [...], "gauges": [...], "histograms": [...]}``."""
+        out: dict[str, list] = {"counters": [], "gauges": [], "histograms": []}
+        for metric in self._metrics.values():
+            if isinstance(metric, Counter):
+                out["counters"].append(metric.to_dict())
+            elif isinstance(metric, Gauge):
+                out["gauges"].append(metric.to_dict())
+            else:
+                out["histograms"].append(metric.to_dict())
+        for section in out.values():
+            section.sort(key=lambda d: (d["name"], sorted(d["labels"].items())))
+        return out
+
+    def render_text(self) -> str:
+        """Prometheus-style exposition (one ``name{labels} value`` per line)."""
+        lines = []
+        for section in ("counters", "gauges"):
+            for m in self.snapshot()[section]:
+                lines.append(f"{m['name']}{_fmt_labels(m['labels'])} {m['value']}")
+        for m in self.snapshot()["histograms"]:
+            base = f"{m['name']}{_fmt_labels(m['labels'])}"
+            lines.append(
+                f"{base} count={m['count']} sum={m['sum']:.6g} mean={m['mean']:.6g} "
+                f"p50={m['p50']:.6g} p95={m['p95']:.6g} p99={m['p99']:.6g}"
+            )
+        return "\n".join(lines)
+
+    def render_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent)
+
+    # ------------------------------------------------------------ lifecycle
+    def reset(self) -> None:
+        """Zero every instrument (identities survive)."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def clear(self) -> None:
+        """Drop every instrument."""
+        self._metrics.clear()
+
+
+def _fmt_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the default registry (tests); returns the previous one."""
+    global _REGISTRY
+    prev, _REGISTRY = _REGISTRY, registry
+    return prev

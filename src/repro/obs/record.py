@@ -1,0 +1,88 @@
+"""Bridges from subsystem state into the metrics registry.
+
+The execution layers keep their own authoritative tallies — per-disk
+read/write counters on :class:`~repro.raid.array.BlockArray`, op
+accounting on :class:`~repro.migration.plan.ConversionPlan`, cache stats
+in :mod:`repro.compiled.compiler`, latency summaries on
+:class:`~repro.simdisk.sim.SimResult`.  These functions copy them into a
+:class:`~repro.obs.metrics.MetricsRegistry` snapshot after a run, so the
+``--metrics`` dump is one coherent namespace without adding bookkeeping
+to any hot path.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+__all__ = [
+    "record_array_io",
+    "record_conversion",
+    "record_sim_result",
+    "record_compiler_cache",
+]
+
+
+def record_array_io(array, registry: MetricsRegistry | None = None, prefix: str = "array") -> None:
+    """Per-disk and total read/write counters from a :class:`BlockArray`."""
+    registry = registry if registry is not None else get_registry()
+    stats = array.io_stats()
+    for d, (r, w) in enumerate(zip(stats["reads"], stats["writes"])):
+        registry.counter(f"{prefix}.reads", disk=d).inc(r)
+        registry.counter(f"{prefix}.writes", disk=d).inc(w)
+    registry.counter(f"{prefix}.reads.total").inc(stats["total_reads"])
+    registry.counter(f"{prefix}.writes.total").inc(stats["total_writes"])
+
+
+def record_conversion(result, registry: MetricsRegistry | None = None) -> None:
+    """Measured vs. planned I/O of a :class:`ConversionResult`.
+
+    ``conversion.reads.total`` / ``conversion.writes.total`` are the
+    *measured* array counters; ``conversion.planned_*`` come from the
+    plan's op accounting — equal whenever the engine is faithful (that
+    equality is exactly what :func:`verify_conversion` enforces).
+    """
+    registry = registry if registry is not None else get_registry()
+    plan = result.plan
+    record_array_io(result.array, registry, prefix="conversion")
+    registry.counter("conversion.planned_reads").inc(plan.read_ios)
+    registry.counter("conversion.planned_writes").inc(plan.write_ios)
+    for name, value in (
+        ("code", plan.code.name),
+        ("approach", plan.approach),
+    ):
+        registry.gauge("conversion.info", key=name, value=value).set(1.0)
+    registry.gauge("conversion.p").set(plan.p)
+    registry.gauge("conversion.groups").set(plan.groups)
+    registry.gauge("conversion.data_blocks").set(plan.data_blocks)
+
+
+def record_sim_result(result, registry: MetricsRegistry | None = None, prefix: str = "sim") -> None:
+    """Makespan, per-disk busy/requests and latency digest of a sim run."""
+    registry = registry if registry is not None else get_registry()
+    registry.gauge(f"{prefix}.makespan_ms").set(result.makespan_ms)
+    registry.counter(f"{prefix}.requests").inc(result.n_requests)
+    for q, v in (
+        ("mean", result.mean_latency_ms),
+        ("p50", result.p50_latency_ms),
+        ("p95", result.p95_latency_ms),
+        ("p99", result.p99_latency_ms),
+    ):
+        registry.gauge(f"{prefix}.latency_ms", quantile=q).set(v)
+    for d, busy in enumerate(result.per_disk_busy_ms):
+        registry.gauge(f"{prefix}.busy_ms", disk=d).set(float(busy))
+    if result.per_disk_requests is not None:
+        for d, c in enumerate(result.per_disk_requests):
+            registry.counter(f"{prefix}.disk_requests", disk=d).inc(int(c))
+
+
+def record_compiler_cache(registry: MetricsRegistry | None = None) -> None:
+    """Plan-compiler cache entries/hits/misses (module-lifetime stats)."""
+    from repro.compiled.compiler import program_cache_info
+
+    registry = registry if registry is not None else get_registry()
+    info = program_cache_info()
+    registry.gauge("compiler.cache.entries").set(info["entries"])
+    for key in ("hits", "misses"):
+        c = registry.counter(f"compiler.cache.{key}")
+        c.reset()
+        c.inc(info[key])

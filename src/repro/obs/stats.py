@@ -1,0 +1,100 @@
+"""Summarise a saved Chrome trace (the ``repro stats`` subcommand).
+
+Reads a trace-event JSON written by :mod:`repro.obs.timeline` (or any
+tool emitting the same format) and reduces it to the numbers one
+actually greps for: wall time per span name, per-track totals, per-disk
+request counts and seek/rotate/transfer time split, plus the embedded
+metrics snapshot if present.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from pathlib import Path
+
+from repro.obs.timeline import load_chrome_trace, validate_chrome_trace
+
+__all__ = ["summarise_trace", "render_summary"]
+
+
+def summarise_trace(path: str | Path) -> dict:
+    """Digest of a trace file; raises ``ValueError`` on schema problems."""
+    doc = load_chrome_trace(path)
+    problems = validate_chrome_trace(doc)
+    if problems:
+        raise ValueError(f"not a valid trace-event file: {problems[:3]}")
+    events = doc["traceEvents"]
+    thread_names: dict[tuple[int, int], str] = {}
+    for ev in events:
+        if ev.get("ph") == "M" and ev.get("name") == "thread_name":
+            thread_names[(ev["pid"], ev["tid"])] = ev["args"]["name"]
+
+    spans: dict[str, dict] = defaultdict(lambda: {"count": 0, "total_ms": 0.0})
+    tracks: dict[str, dict] = defaultdict(lambda: {"count": 0, "total_ms": 0.0})
+    disks: dict[str, dict] = defaultdict(
+        lambda: {"requests": 0, "busy_ms": 0.0, "seek_ms": 0.0, "rotate_ms": 0.0,
+                 "transfer_ms": 0.0, "end_ms": 0.0}
+    )
+    for ev in events:
+        if ev.get("ph") != "X":
+            continue
+        dur_ms = ev["dur"] / 1e3
+        track = thread_names.get((ev["pid"], ev["tid"]), f"tid {ev['tid']}")
+        if ev.get("cat") == "disk":
+            d = disks[track]
+            d["requests"] += 1
+            d["busy_ms"] += dur_ms
+            d["end_ms"] = max(d["end_ms"], (ev["ts"] + ev["dur"]) / 1e3)
+            args = ev.get("args", {})
+            for comp in ("seek_ms", "rotate_ms", "transfer_ms"):
+                d[comp] += args.get(comp, 0.0)
+        else:
+            s = spans[ev["name"]]
+            s["count"] += 1
+            s["total_ms"] += dur_ms
+            t = tracks[track]
+            t["count"] += 1
+            t["total_ms"] += dur_ms
+    return {
+        "path": str(path),
+        "n_events": len(events),
+        "spans": dict(sorted(spans.items(), key=lambda kv: -kv[1]["total_ms"])),
+        "tracks": dict(sorted(tracks.items())),
+        "disks": dict(sorted(disks.items())),
+        "other": doc.get("otherData", {}),
+    }
+
+
+def render_summary(summary: dict, top: int = 15) -> str:
+    """Human-readable report of :func:`summarise_trace`'s digest."""
+    lines = [f"trace {summary['path']}: {summary['n_events']} events"]
+    if summary["spans"]:
+        lines.append(f"\nspans (top {top} by total wall time):")
+        lines.append(f"{'name':>32} {'count':>7} {'total ms':>12}")
+        for name, s in list(summary["spans"].items())[:top]:
+            lines.append(f"{name:>32} {s['count']:>7} {s['total_ms']:>12.3f}")
+    if summary["tracks"]:
+        lines.append("\nspan tracks:")
+        for track, t in summary["tracks"].items():
+            lines.append(f"  {track}: {t['count']} spans, {t['total_ms']:.3f} ms")
+    if summary["disks"]:
+        lines.append("\nsimulated disks (sim time):")
+        lines.append(
+            f"{'disk':>12} {'reqs':>8} {'busy ms':>12} {'seek':>10} {'rotate':>10} {'xfer':>10}"
+        )
+        for track, d in summary["disks"].items():
+            lines.append(
+                f"{track:>12} {d['requests']:>8} {d['busy_ms']:>12.1f} "
+                f"{d['seek_ms']:>10.1f} {d['rotate_ms']:>10.1f} {d['transfer_ms']:>10.1f}"
+            )
+    other = summary.get("other", {})
+    if other.get("disk_slices_truncated"):
+        lines.append(
+            f"\nnote: {other['disk_slices_truncated']} disk slices truncated at export "
+            f"({other['disk_slices_exported']}/{other['disk_requests']} kept)"
+        )
+    metrics = other.get("metrics")
+    if metrics:
+        n = sum(len(v) for v in metrics.values() if isinstance(v, list))
+        lines.append(f"\nembedded metrics snapshot: {n} instruments")
+    return "\n".join(lines)

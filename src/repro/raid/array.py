@@ -257,6 +257,20 @@ class BlockArray:
         self.writes = self.writes[:-1]
 
     # ----------------------------------------------------------- inspection
+    def io_stats(self) -> dict:
+        """JSON-ready view of the I/O counters (for ``repro.obs``).
+
+        The counters themselves stay the single source of truth; this is
+        the export format the metrics bridge and the CLI dumps share.
+        """
+        return {
+            "reads": [int(r) for r in self.reads],
+            "writes": [int(w) for w in self.writes],
+            "total_reads": self.total_reads,
+            "total_writes": self.total_writes,
+            "total_ios": self.total_ios,
+        }
+
     def snapshot(self) -> np.ndarray:
         """Uncounted copy of the whole array (verification only)."""
         return self._store.copy()

@@ -4,7 +4,13 @@ from repro.simdisk.disk import DiskModel
 from repro.simdisk.events import Event, EventQueue
 from repro.simdisk.presets import PRESETS, get_preset
 from repro.simdisk.scheduler import FcfsQueue, LookQueue, SstfQueue, make_scheduler
-from repro.simdisk.sim import DiskArraySimulator, SimResult, simulate_closed
+from repro.simdisk.sim import (
+    DiskArraySimulator,
+    DiskSchedule,
+    SimResult,
+    closed_request_schedule,
+    simulate_closed,
+)
 
 __all__ = [
     "DiskModel",
@@ -17,6 +23,8 @@ __all__ = [
     "LookQueue",
     "make_scheduler",
     "DiskArraySimulator",
+    "DiskSchedule",
     "SimResult",
+    "closed_request_schedule",
     "simulate_closed",
 ]

@@ -90,6 +90,50 @@ class DiskModel:
             seek = self.seek_ms(self.cylinder_of(prev_block), self.cylinder_of(block))
         return seek + self.avg_rotational_ms + xfer
 
+    def service_components_vector(
+        self,
+        blocks: np.ndarray,
+        size_bytes: int,
+        first: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorised FCFS service-time *breakdown*: (seek, rotate, transfer).
+
+        The three arrays sum (exactly, term by term in the same order) to
+        :meth:`service_ms_vector`; the timeline exporter renders them as
+        the per-request slice breakdown.  Regimes map to components as:
+
+        * streaming — transfer only;
+        * same-cylinder forward fly-over — the wait is rotational
+          (capped at half a revolution) plus the transfer;
+        * random access — seek + average rotational latency + transfer.
+        """
+        blocks = np.asarray(blocks, dtype=np.int64)
+        if blocks.size == 0:
+            return np.zeros(0), np.zeros(0), np.zeros(0)
+        prev = np.empty_like(blocks)
+        prev[0] = -(1 << 40)  # force an initial seek from cylinder 0
+        prev[1:] = blocks[:-1]
+        if first is not None:
+            prev = np.where(np.asarray(first, dtype=bool), -(1 << 40), prev)
+        xfer = self.transfer_ms(size_bytes)
+        sequential = blocks == prev + 1
+        cyl = blocks // self.blocks_per_cylinder
+        prev_cyl = np.clip(prev, 0, None) // self.blocks_per_cylinder
+        prev_cyl[prev == -(1 << 40)] = 0
+        # forward fly-over within a cylinder (see service_ms)
+        gap = blocks - prev - 1
+        flyover_ok = (gap > 0) & (cyl == prev_cyl)
+        flyover_rot = np.minimum(gap * xfer, self.avg_rotational_ms)
+        d = np.abs(cyl - prev_cyl)
+        span = max(self.cylinders - 1, 1)
+        k = (self.max_seek_ms - self.single_cyl_seek_ms) / np.sqrt(span)
+        seek_random = np.where(d == 0, 0.0, self.single_cyl_seek_ms + k * np.sqrt(d))
+        seek = np.where(sequential | flyover_ok, 0.0, seek_random)
+        rot = np.where(
+            sequential, 0.0, np.where(flyover_ok, flyover_rot, self.avg_rotational_ms)
+        )
+        return seek, rot, np.full_like(seek, xfer)
+
     def service_ms_vector(
         self,
         blocks: np.ndarray,
@@ -106,26 +150,7 @@ class DiskModel:
         as at index 0.  It lets one call cover many disks' concatenated
         queues instead of one call per disk.
         """
-        blocks = np.asarray(blocks, dtype=np.int64)
-        if blocks.size == 0:
+        seek, rot, xfer = self.service_components_vector(blocks, size_bytes, first=first)
+        if seek.size == 0:
             return np.zeros(0)
-        prev = np.empty_like(blocks)
-        prev[0] = -(1 << 40)  # force an initial seek from cylinder 0
-        prev[1:] = blocks[:-1]
-        if first is not None:
-            prev = np.where(np.asarray(first, dtype=bool), -(1 << 40), prev)
-        xfer = self.transfer_ms(size_bytes)
-        sequential = blocks == prev + 1
-        cyl = blocks // self.blocks_per_cylinder
-        prev_cyl = np.clip(prev, 0, None) // self.blocks_per_cylinder
-        prev_cyl[prev == -(1 << 40)] = 0
-        # forward fly-over within a cylinder (see service_ms)
-        gap = blocks - prev - 1
-        flyover_ok = (gap > 0) & (cyl == prev_cyl)
-        flyover = np.minimum(gap * xfer, self.avg_rotational_ms) + xfer
-        d = np.abs(cyl - prev_cyl)
-        span = max(self.cylinders - 1, 1)
-        k = (self.max_seek_ms - self.single_cyl_seek_ms) / np.sqrt(span)
-        seek = np.where(d == 0, 0.0, self.single_cyl_seek_ms + k * np.sqrt(d))
-        service = seek + self.avg_rotational_ms + xfer
-        return np.where(sequential, xfer, np.where(flyover_ok, flyover, service))
+        return seek + rot + xfer

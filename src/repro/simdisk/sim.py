@@ -11,6 +11,13 @@ Two execution engines over the same :class:`DiskModel`:
   pluggable per-disk scheduler (FCFS / SSTF / LOOK), for latency studies
   and the online-conversion experiments.  On a closed-loop FCFS workload
   it reproduces :func:`simulate_closed` exactly (tested).
+
+Both report the same :class:`SimResult` (makespan, per-disk busy time
+and request counts, p50/p95/p99 latency).  For observability,
+:func:`closed_request_schedule` exposes the closed-loop engine's full
+per-request schedule — start, seek/rotate/transfer breakdown,
+completion — which ``repro.obs.timeline`` renders as one Perfetto track
+per disk.
 """
 
 from __future__ import annotations
@@ -24,7 +31,15 @@ from repro.simdisk.events import EventQueue
 from repro.simdisk.scheduler import make_scheduler
 from repro.workloads.trace import Trace
 
-__all__ = ["SimResult", "simulate_closed", "DiskArraySimulator"]
+__all__ = ["SimResult", "DiskSchedule", "simulate_closed", "closed_request_schedule", "DiskArraySimulator"]
+
+
+def _percentiles(values: np.ndarray) -> tuple[float, float, float, float]:
+    """(mean, p50, p95, p99) of a latency vector (0s when empty)."""
+    if values.size == 0:
+        return 0.0, 0.0, 0.0, 0.0
+    p50, p95, p99 = np.percentile(values, [50, 95, 99])
+    return float(values.mean()), float(p50), float(p95), float(p99)
 
 
 @dataclass(frozen=True)
@@ -36,10 +51,71 @@ class SimResult:
     n_requests: int
     mean_latency_ms: float
     p99_latency_ms: float
+    p50_latency_ms: float = 0.0
+    p95_latency_ms: float = 0.0
+    per_disk_requests: np.ndarray | None = None
 
     @property
     def makespan_s(self) -> float:
         return self.makespan_ms / 1e3
+
+    def latency_summary(self) -> dict:
+        """JSON-ready latency/throughput digest of the run."""
+        return {
+            "n_requests": self.n_requests,
+            "makespan_ms": self.makespan_ms,
+            "mean_latency_ms": self.mean_latency_ms,
+            "p50_latency_ms": self.p50_latency_ms,
+            "p95_latency_ms": self.p95_latency_ms,
+            "p99_latency_ms": self.p99_latency_ms,
+            "per_disk_busy_ms": [float(b) for b in self.per_disk_busy_ms],
+            "per_disk_requests": (
+                [int(c) for c in self.per_disk_requests]
+                if self.per_disk_requests is not None
+                else None
+            ),
+        }
+
+
+def _closed_queue_order(
+    trace: Trace, n: int, reorder_window: int | None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-disk queue layout shared by the engine and the timeline.
+
+    Returns ``(idx, d_sorted, blocks, first, seg_starts, counts)`` where
+    ``idx`` maps each queue position back to its request index in the
+    trace (after dropping requests beyond disk ``n``), ``d_sorted`` /
+    ``blocks`` are the concatenated per-disk queues in service order,
+    ``first`` marks each disk's first request, and ``seg_starts`` /
+    ``counts`` delimit the per-disk segments.
+    """
+    disk = np.asarray(trace.disk)
+    served = disk < n
+    idx = np.flatnonzero(served)
+    m = idx.size
+    if m == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty, empty, np.zeros(0, dtype=bool), empty, empty
+    # One stable sort groups every disk's queue in arrival order —
+    # identical to per_disk_blocks(d) for each d, without the n passes.
+    arrival = np.asarray(trace.arrival_ms)[idx]
+    order = np.lexsort((arrival, disk[idx]))
+    idx = idx[order]
+    d_sorted = disk[idx]
+    blocks = np.asarray(trace.block, dtype=np.int64)[idx]
+    first = np.empty(m, dtype=bool)  # segment starts (one segment per disk)
+    first[0] = True
+    np.not_equal(d_sorted[1:], d_sorted[:-1], out=first[1:])
+    seg_starts = np.flatnonzero(first)
+    counts = np.diff(np.append(seg_starts, m))
+    if reorder_window is not None and reorder_window > 1:
+        # bounded elevator: ascending blocks within each window of the
+        # per-disk queue — one argsort pass, no per-window copy+sort.
+        pos = np.arange(m) - np.repeat(seg_starts, counts)
+        perm = np.lexsort((blocks, pos // reorder_window, d_sorted))
+        blocks = blocks[perm]
+        idx = idx[perm]
+    return idx, d_sorted, blocks, first, seg_starts, counts
 
 
 def simulate_closed(
@@ -63,27 +139,13 @@ def simulate_closed(
         raise ValueError("reorder_window must be >= 1")
     n = n_disks if n_disks is not None else trace.n_disks
     busy = np.zeros(n)
-    disk = np.asarray(trace.disk)
-    served = disk < n
-    m = int(served.sum())
+    requests = np.zeros(n, dtype=np.int64)
+    _idx, d_sorted, blocks, first, seg_starts, counts = _closed_queue_order(
+        trace, n, reorder_window
+    )
+    m = d_sorted.size
     if m == 0:
-        return SimResult(0.0, busy, 0, 0.0, 0.0)
-    # One stable sort groups every disk's queue in arrival order —
-    # identical to per_disk_blocks(d) for each d, without the n passes.
-    arrival = np.asarray(trace.arrival_ms)[served]
-    order = np.lexsort((arrival, disk[served]))
-    d_sorted = disk[served][order]
-    blocks = np.asarray(trace.block, dtype=np.int64)[served][order]
-    first = np.empty(m, dtype=bool)  # segment starts (one segment per disk)
-    first[0] = True
-    np.not_equal(d_sorted[1:], d_sorted[:-1], out=first[1:])
-    seg_starts = np.flatnonzero(first)
-    counts = np.diff(np.append(seg_starts, m))
-    if reorder_window is not None and reorder_window > 1:
-        # bounded elevator: ascending blocks within each window of the
-        # per-disk queue — one argsort pass, no per-window copy+sort.
-        pos = np.arange(m) - np.repeat(seg_starts, counts)
-        blocks = blocks[np.lexsort((blocks, pos // reorder_window, d_sorted))]
+        return SimResult(0.0, busy, 0, 0.0, 0.0, per_disk_requests=requests)
     service = model.service_ms_vector(blocks, trace.block_size, first=first)
     # per-disk cumulative completion via one global cumsum minus the
     # running total at each disk's segment start
@@ -92,12 +154,98 @@ def simulate_closed(
     completion = cum - np.repeat(offset, counts)
     seg_ends = seg_starts + counts - 1
     busy[d_sorted[seg_starts]] = completion[seg_ends]
+    requests[d_sorted[seg_starts]] = counts
+    mean, p50, p95, p99 = _percentiles(completion)
     return SimResult(
         makespan_ms=float(busy.max()),
         per_disk_busy_ms=busy,
         n_requests=len(trace),
-        mean_latency_ms=float(completion.mean()),
-        p99_latency_ms=float(np.percentile(completion, 99)),
+        mean_latency_ms=mean,
+        p99_latency_ms=p99,
+        p50_latency_ms=p50,
+        p95_latency_ms=p95,
+        per_disk_requests=requests,
+    )
+
+
+@dataclass(frozen=True)
+class DiskSchedule:
+    """Full per-request schedule of a closed-loop run (times in ms).
+
+    Arrays are aligned: entry ``i`` is one served request, in per-disk
+    queue-service order (disk-major).  ``request_index`` maps back to the
+    originating position in the trace.  ``start + seek + rotate +
+    transfer == completion`` per entry; per-disk busy time equals the
+    segment's last completion (identical to :func:`simulate_closed`,
+    tested).
+    """
+
+    n_disks: int
+    block_size: int
+    disk: np.ndarray
+    block: np.ndarray
+    is_write: np.ndarray
+    request_index: np.ndarray
+    start_ms: np.ndarray
+    seek_ms: np.ndarray
+    rotate_ms: np.ndarray
+    transfer_ms: np.ndarray
+    completion_ms: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.disk)
+
+    @property
+    def service_ms(self) -> np.ndarray:
+        return self.completion_ms - self.start_ms
+
+    def per_disk_busy_ms(self) -> np.ndarray:
+        busy = np.zeros(self.n_disks)
+        np.maximum.at(busy, self.disk, self.completion_ms)
+        return busy
+
+
+def closed_request_schedule(
+    trace: Trace,
+    model: DiskModel,
+    n_disks: int | None = None,
+    reorder_window: int | None = None,
+) -> DiskSchedule:
+    """The closed-loop engine's schedule, one entry per served request.
+
+    Same queue ordering and service model as :func:`simulate_closed`
+    (including NCQ reordering), but keeps the per-request start times and
+    the seek/rotate/transfer decomposition instead of reducing to a
+    makespan — the raw material for the Perfetto disk timeline.
+    """
+    if reorder_window is not None and reorder_window < 1:
+        raise ValueError("reorder_window must be >= 1")
+    n = n_disks if n_disks is not None else trace.n_disks
+    idx, d_sorted, blocks, first, seg_starts, counts = _closed_queue_order(
+        trace, n, reorder_window
+    )
+    seek, rot, xfer = model.service_components_vector(blocks, trace.block_size, first=first)
+    service = seek + rot + xfer if seek.size else np.zeros(0)
+    cum = np.cumsum(service)
+    offset = (
+        np.repeat(np.where(seg_starts > 0, cum[seg_starts - 1], 0.0), counts)
+        if seg_starts.size
+        else np.zeros(0)
+    )
+    completion = cum - offset
+    is_write = np.asarray(trace.is_write, dtype=bool)[idx] if idx.size else np.zeros(0, dtype=bool)
+    return DiskSchedule(
+        n_disks=n,
+        block_size=trace.block_size,
+        disk=d_sorted,
+        block=blocks,
+        is_write=is_write,
+        request_index=idx,
+        start_ms=completion - service,
+        seek_ms=seek,
+        rotate_ms=rot,
+        transfer_ms=xfer,
+        completion_ms=completion,
     )
 
 
@@ -123,6 +271,10 @@ class DiskArraySimulator:
         Array width.
     scheduler:
         Per-disk queue discipline: ``"fcfs"``, ``"sstf"`` or ``"look"``.
+
+    When the default metrics registry is enabled (``repro.obs``), each
+    run records per-disk busy-time gauges, served-request counters and a
+    queue-depth histogram observed at every arrival.
     """
 
     def __init__(
@@ -139,11 +291,17 @@ class DiskArraySimulator:
         self.scheduler_name = scheduler
 
     def run(self, trace: Trace) -> SimResult:
+        from repro.obs.metrics import get_registry  # lazy: avoids import cycle
+
+        registry = get_registry()
+        collect = registry.enabled
         queues = [make_scheduler(self.scheduler_name) for _ in range(self.n_disks)]
         head: list[int | None] = [None] * self.n_disks
         busy_until = np.zeros(self.n_disks)
         idle = [True] * self.n_disks
         busy_time = np.zeros(self.n_disks)
+        served = np.zeros(self.n_disks, dtype=np.int64)
+        depth_hist = registry.histogram("simdisk.queue_depth") if collect else None
 
         requests = [
             _Request(float(trace.arrival_ms[i]), int(trace.disk[i]), int(trace.block[i]),
@@ -164,6 +322,7 @@ class DiskArraySimulator:
             service = self.models[disk].service_ms(head[disk], req.block, trace.block_size)
             head[disk] = req.block
             busy_time[disk] += service
+            served[disk] += 1
             req.completion = now + service
             events.push(req.completion, "complete", (disk, req))
 
@@ -172,6 +331,8 @@ class DiskArraySimulator:
             if ev.kind == "arrive":
                 req = ev.payload
                 queues[req.disk].push(req)
+                if depth_hist is not None:
+                    depth_hist.observe(len(queues[req.disk]))
                 if idle[req.disk]:
                     start(req.disk, ev.time)
             else:  # complete
@@ -182,10 +343,20 @@ class DiskArraySimulator:
         if np.isnan(completions).any():
             raise RuntimeError("simulation ended with unserved requests")
         latencies = completions - trace.arrival_ms
+        mean, p50, p95, p99 = _percentiles(latencies)
+        if collect:
+            labels = {"scheduler": self.scheduler_name}
+            registry.counter("simdisk.requests", **labels).inc(len(requests))
+            for d in range(self.n_disks):
+                registry.gauge("simdisk.busy_ms", disk=d, **labels).set(busy_time[d])
+                registry.counter("simdisk.served", disk=d, **labels).inc(int(served[d]))
         return SimResult(
             makespan_ms=float(completions.max()) if len(completions) else 0.0,
             per_disk_busy_ms=busy_time,
             n_requests=len(trace),
-            mean_latency_ms=float(latencies.mean()) if len(completions) else 0.0,
-            p99_latency_ms=float(np.percentile(latencies, 99)) if len(completions) else 0.0,
+            mean_latency_ms=mean,
+            p99_latency_ms=p99,
+            p50_latency_ms=p50,
+            p95_latency_ms=p95,
+            per_disk_requests=served,
         )

@@ -1,11 +1,14 @@
 """Command-line interface."""
 
+import json
 import subprocess
 import sys
 
 import pytest
 
-from repro.cli import main
+import repro
+from repro.cli import _package_version, main
+from repro.obs import load_chrome_trace, validate_chrome_trace
 
 
 def run_cli(*argv):
@@ -102,3 +105,127 @@ class TestCertifyTolerance:
 
     def test_raid6_code_fails_triple(self, capsys):
         assert run_cli("certify", "rdp", "--p", "5", "--tolerance", "3") == 1
+
+
+class TestVersion:
+    def test_version_flag_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            run_cli("--version")
+        assert exc.value.code == 0
+        assert _package_version() in capsys.readouterr().out
+
+    def test_package_version_matches_module_fallback(self):
+        # installed metadata (if any) or the module constant; either way
+        # it is a non-empty dotted version string
+        v = _package_version()
+        assert v and v[0].isdigit()
+        assert repro.__version__[0].isdigit()
+
+
+class TestObservability:
+    """The acceptance path: convert --trace --metrics end to end."""
+
+    def test_convert_trace_and_metrics(self, capsys, tmp_path):
+        trace_path = tmp_path / "t.json"
+        metrics_path = tmp_path / "m.json"
+        assert run_cli(
+            "convert", "--code", "code56", "--approach", "direct", "--p", "7",
+            "--trace", str(trace_path), "--metrics", str(metrics_path),
+        ) == 0
+        out = capsys.readouterr().out
+        assert "verified: True" in out
+        assert "metrics snapshot" in out
+
+        doc = load_chrome_trace(trace_path)
+        assert validate_chrome_trace(doc) == []
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        # real execution spans...
+        assert {"plan", "compile", "execute", "verify"} <= names
+        # ...and simulated per-disk activity slices
+        assert names & {"R", "W"}
+
+        # metrics counters equal the plan's op accounting exactly
+        metrics = json.loads(metrics_path.read_text())
+        counters = {
+            (c["name"], tuple(sorted(c["labels"].items()))): c["value"]
+            for c in metrics["counters"]
+        }
+        reads = counters[("conversion.reads.total", ())]
+        writes = counters[("conversion.writes.total", ())]
+        assert reads == counters[("conversion.planned_reads", ())]
+        assert writes == counters[("conversion.planned_writes", ())]
+
+        from repro.migration import build_plan
+        from repro.migration.approaches import alignment_cycle
+
+        plan = build_plan("code56", "direct", 7,
+                          groups=alignment_cycle("code56", 7, None))
+        assert reads == plan.read_ios
+        assert writes == plan.write_ios
+
+    def test_convert_metrics_stdout_only(self, capsys):
+        assert run_cli("convert", "code56", "direct", "--p", "5", "--metrics") == 0
+        out = capsys.readouterr().out
+        assert "conversion.reads.total" in out
+
+    def test_convert_audited_engine_traces_too(self, capsys, tmp_path):
+        trace_path = tmp_path / "t.json"
+        assert run_cli(
+            "convert", "code56", "direct", "--p", "5",
+            "--engine", "audited", "--trace", str(trace_path),
+        ) == 0
+        doc = load_chrome_trace(trace_path)
+        assert validate_chrome_trace(doc) == []
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert {"plan", "execute", "verify"} <= names
+
+    def test_convert_missing_args_exit_2(self, capsys):
+        assert run_cli("convert", "--p", "5") == 2
+        assert "required" in capsys.readouterr().err
+
+    def test_convert_tracing_disabled_after_run(self, tmp_path):
+        from repro.obs import get_registry, get_tracer
+
+        assert run_cli("convert", "code56", "direct", "--p", "5",
+                       "--trace", str(tmp_path / "t.json")) == 0
+        assert not get_tracer().enabled
+        assert not get_registry().enabled
+
+    def test_simulate_trace_and_metrics(self, capsys, tmp_path):
+        trace_path = tmp_path / "sim.json"
+        assert run_cli(
+            "simulate", "--blocks", "1200", "--p", "5",
+            "--trace", str(trace_path), "--metrics",
+        ) == 0
+        out = capsys.readouterr().out
+        assert "direct(code56)" in out
+        assert "sim.direct(code56).requests" in out
+        doc = load_chrome_trace(trace_path)
+        assert validate_chrome_trace(doc) == []
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert "simulate" in names
+        assert names & {"R", "W"}
+
+    def test_stats_roundtrip(self, capsys, tmp_path):
+        trace_path = tmp_path / "t.json"
+        assert run_cli("convert", "code56", "direct", "--p", "5",
+                       "--trace", str(trace_path)) == 0
+        capsys.readouterr()
+        assert run_cli("stats", str(trace_path)) == 0
+        out = capsys.readouterr().out
+        assert "execute" in out and "disk" in out
+
+    def test_stats_missing_file_exit_1(self, capsys, tmp_path):
+        assert run_cli("stats", str(tmp_path / "nope.json")) == 1
+        assert "no such file" in capsys.readouterr().err
+
+    def test_stats_invalid_json_exit_1(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert run_cli("stats", str(bad)) == 1
+        assert "bad.json" in capsys.readouterr().err
+
+    def test_stats_not_a_trace_exit_1(self, capsys, tmp_path):
+        bad = tmp_path / "plain.json"
+        bad.write_text('{"hello": 1}')
+        assert run_cli("stats", str(bad)) == 1

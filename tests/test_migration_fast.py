@@ -52,3 +52,11 @@ def test_groups_bounds(rng):
     array, _ = prepare_source_array(plan, rng, block_size=8)
     with pytest.raises(ValueError):
         fast_convert_code56(array, 5, groups=100)
+
+
+@pytest.mark.filterwarnings("default::DeprecationWarning")
+def test_emits_deprecation_warning(rng):
+    plan = build_plan("code56", "direct", 5, groups=1)
+    array, _ = prepare_source_array(plan, rng, block_size=8)
+    with pytest.warns(DeprecationWarning, match="execute_plan_compiled"):
+        fast_convert_code56(array, 5, groups=1)

@@ -1,0 +1,145 @@
+"""Metrics registry: counters, gauges, histograms, snapshots."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_identity(self, registry):
+        c = registry.counter("reads", disk=0)
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert registry.counter("reads", disk=0) is c
+
+    def test_labels_separate_series(self, registry):
+        registry.counter("reads", disk=0).inc(3)
+        registry.counter("reads", disk=1).inc(7)
+        assert registry.counter("reads", disk=0).value == 3
+        assert registry.counter("reads", disk=1).value == 7
+
+    def test_label_order_irrelevant(self, registry):
+        a = registry.counter("x", a=1, b=2)
+        b = registry.counter("x", b=2, a=1)
+        assert a is b
+
+    def test_negative_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("reads").inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("depth")
+        g.set(5)
+        g.inc(2)
+        g.dec()
+        assert g.value == 6.0
+
+
+class TestHistogram:
+    def test_count_sum_mean(self, registry):
+        h = registry.histogram("lat")
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(6.0)
+        assert h.mean == pytest.approx(2.0)
+        assert h.min == 1.0 and h.max == 3.0
+
+    def test_percentiles_bracket_data(self, registry):
+        h = registry.histogram("lat")
+        h.observe_many(range(1, 101))  # 1..100, buckets up to 10000
+        # fixed buckets: estimates are within one bucket of the truth
+        assert 40 <= h.p50 <= 60
+        assert 90 <= h.p95 <= 110
+        assert 95 <= h.p99 <= 260
+        assert h.percentile(0) <= h.percentile(100)
+
+    def test_overflow_bucket(self, registry):
+        h = registry.histogram("lat", buckets=(1.0, 2.0))
+        h.observe(50.0)
+        assert h.counts[-1] == 1
+        assert h.p99 >= 2.0
+
+    def test_empty(self, registry):
+        h = registry.histogram("lat")
+        assert h.p50 == 0.0 and h.mean == 0.0 and h.min == 0.0
+
+    def test_bad_buckets(self, registry):
+        with pytest.raises(ValueError):
+            Histogram("x", {}, buckets=(3.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("x", {}, buckets=())
+
+    def test_bad_quantile(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("lat").percentile(101)
+
+    def test_default_buckets_ascending(self):
+        assert list(DEFAULT_LATENCY_BUCKETS_MS) == sorted(DEFAULT_LATENCY_BUCKETS_MS)
+
+
+class TestRegistry:
+    def test_snapshot_shape_and_json(self, registry):
+        registry.counter("reads", disk=0).inc(2)
+        registry.gauge("busy").set(1.5)
+        registry.histogram("lat").observe(3.0)
+        snap = registry.snapshot()
+        assert {c["name"] for c in snap["counters"]} == {"reads"}
+        assert snap["gauges"][0]["value"] == 1.5
+        assert snap["histograms"][0]["count"] == 1
+        json.loads(registry.render_json())  # round-trippable
+
+    def test_reset_keeps_identity(self, registry):
+        c = registry.counter("reads")
+        c.inc(9)
+        h = registry.histogram("lat")
+        h.observe(1.0)
+        registry.reset()
+        assert c.value == 0 and h.count == 0
+        assert registry.counter("reads") is c
+
+    def test_clear_drops(self, registry):
+        registry.counter("reads").inc()
+        registry.clear()
+        assert len(registry) == 0
+
+    def test_render_text(self, registry):
+        registry.counter("reads", disk=3).inc(7)
+        registry.histogram("lat").observe(2.0)
+        text = registry.render_text()
+        assert 'reads{disk="3"} 7' in text
+        assert "count=1" in text
+
+    def test_types_do_not_collide(self, registry):
+        registry.counter("x")
+        registry.gauge("x")
+        registry.histogram("x")
+        assert len(registry) == 3
+
+    def test_default_registry_swap(self):
+        mine = MetricsRegistry()
+        prev = set_registry(mine)
+        try:
+            assert get_registry() is mine
+        finally:
+            set_registry(prev)
+        assert get_registry() is prev
+
+    def test_disabled_by_default(self):
+        assert MetricsRegistry().enabled is False

@@ -1,0 +1,119 @@
+"""Span tracer: nesting, tracks, disabled no-op path."""
+
+import pytest
+
+from repro import obs
+from repro.obs.tracer import Tracer, _NULL_SPAN, get_tracer, set_tracer
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(enabled=True)
+
+
+def test_span_records_on_exit(tracer):
+    with tracer.span("work", cat="test", foo=1):
+        pass
+    assert len(tracer) == 1
+    (s,) = tracer.spans
+    assert s.name == "work" and s.cat == "test"
+    assert s.args == {"foo": 1}
+    assert s.dur_s >= 0.0
+    assert s.end_s == pytest.approx(s.start_s + s.dur_s)
+
+
+def test_nesting_contained(tracer):
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+    inner, outer = tracer.spans  # inner exits first
+    assert inner.name == "inner" and outer.name == "outer"
+    assert outer.start_s <= inner.start_s
+    assert inner.end_s <= outer.end_s + 1e-9
+
+
+def test_disabled_is_shared_null_span():
+    t = Tracer()  # disabled by default
+    span = t.span("work", anything=1)
+    assert span is _NULL_SPAN
+    with span as s:
+        s.set(more=2)  # no-op, no error
+    t.instant("marker")
+    assert len(t) == 0
+
+
+def test_set_updates_args(tracer):
+    with tracer.span("work", a=1) as s:
+        s.set(b=2, a=3)
+    assert tracer.spans[0].args == {"a": 3, "b": 2}
+
+
+def test_error_annotated(tracer):
+    with pytest.raises(RuntimeError):
+        with tracer.span("boom"):
+            raise RuntimeError("nope")
+    assert tracer.spans[0].args["error"] == "RuntimeError"
+
+
+def test_tracks_default_and_override(tracer):
+    with tracer.span("a"):
+        pass
+    prev = tracer.set_track("conversion")
+    assert prev == "main"
+    with tracer.span("b"):
+        pass
+    with tracer.span("c", track="application"):
+        pass
+    assert [s.track for s in tracer.spans] == ["main", "conversion", "application"]
+
+
+def test_instant_zero_duration(tracer):
+    tracer.instant("failure", disk=3)
+    (s,) = tracer.spans
+    assert s.dur_s == 0.0 and s.args == {"disk": 3}
+
+
+def test_queries_and_clear(tracer):
+    for _ in range(3):
+        with tracer.span("x"):
+            pass
+    with tracer.span("y"):
+        pass
+    assert len(tracer.by_name("x")) == 3
+    assert tracer.total_s("x") >= 0.0
+    tracer.clear()
+    assert len(tracer) == 0
+
+
+def test_enable_disable_toggle(tracer):
+    tracer.disable()
+    with tracer.span("skipped"):
+        pass
+    tracer.enable()
+    with tracer.span("kept"):
+        pass
+    assert [s.name for s in tracer.spans] == ["kept"]
+
+
+def test_default_tracer_swap():
+    mine = Tracer(enabled=True)
+    prev = set_tracer(mine)
+    try:
+        assert get_tracer() is mine
+    finally:
+        set_tracer(prev)
+    assert get_tracer() is prev
+
+
+def test_obs_enable_disable_roundtrip():
+    assert not obs.is_enabled()
+    obs.enable()
+    try:
+        assert obs.is_enabled()
+        assert get_tracer().enabled
+        assert obs.get_registry().enabled
+    finally:
+        obs.disable()
+    assert not obs.is_enabled()
+    obs.get_tracer().clear()
+    obs.get_registry().clear()

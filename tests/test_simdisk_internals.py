@@ -1,0 +1,142 @@
+"""Event-core and scheduler edge cases: tie-breaking, direction reversal."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.simdisk.events import Event, EventQueue
+from repro.simdisk.scheduler import LookQueue, SstfQueue, make_scheduler
+
+
+@dataclass
+class Req:
+    block: int
+    tag: str = ""
+
+
+class TestEventQueueTieBreaking:
+    def test_same_timestamp_pops_in_push_order(self):
+        q = EventQueue()
+        for tag in "abcde":
+            q.push(5.0, "arrival", tag)
+        assert [q.pop().payload for _ in range(5)] == list("abcde")
+
+    def test_time_dominates_sequence(self):
+        q = EventQueue()
+        q.push(9.0, "late", "late")
+        q.push(1.0, "early", "early")
+        assert q.pop().payload == "early"
+        assert q.pop().payload == "late"
+
+    def test_interleaved_ties_stay_fifo(self):
+        q = EventQueue()
+        q.push(2.0, "x", "t2-first")
+        q.push(1.0, "x", "t1-first")
+        q.push(2.0, "x", "t2-second")
+        q.push(1.0, "x", "t1-second")
+        order = [q.pop().payload for _ in range(4)]
+        assert order == ["t1-first", "t1-second", "t2-first", "t2-second"]
+
+    def test_determinism_across_instances(self):
+        """Two queues fed identically drain identically (no id()/hash order)."""
+        batches = [(3.0, "c"), (1.0, "a"), (3.0, "d"), (2.0, "b"), (1.0, "e")]
+        drains = []
+        for _ in range(2):
+            q = EventQueue()
+            for t, tag in batches:
+                q.push(t, "x", tag)
+            drains.append([q.pop().payload for _ in range(len(batches))])
+        assert drains[0] == drains[1] == ["a", "e", "b", "c", "d"]
+
+    def test_event_comparison_ignores_payload(self):
+        # kind/payload are compare=False: events with unorderable payloads
+        # still sort (this is what lets payloads be arbitrary objects)
+        assert Event(1.0, 0, "a", object()) < Event(1.0, 1, "b", object())
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q and len(q) == 0
+        q.push(0.0, "x")
+        assert q and len(q) == 1
+        q.pop()
+        assert not q
+
+
+class TestSstfEdgeCases:
+    def test_equidistant_tie_is_first_pushed(self):
+        q = SstfQueue()
+        q.push(Req(90, "below"))
+        q.push(Req(110, "above"))
+        # both are 10 away from head 100; min() keeps the earliest index
+        assert q.pop(100).tag == "below"
+
+    def test_exact_head_position_wins(self):
+        q = SstfQueue()
+        q.push(Req(500))
+        q.push(Req(100, "here"))
+        q.push(Req(101))
+        assert q.pop(100).tag == "here"
+
+    def test_greedy_never_scans_ahead(self):
+        """SSTF serves the near cluster before a lone far request."""
+        q = SstfQueue()
+        q.push(Req(10_000, "far"))
+        for b in (110, 90, 105):
+            q.push(Req(b))
+        order = []
+        head = 100
+        while len(q):
+            r = q.pop(head)
+            head = r.block
+            order.append(r.tag)
+        assert order[-1] == "far"
+
+
+class TestLookDirectionReversal:
+    def drain(self, q, head):
+        order = []
+        while len(q):
+            r = q.pop(head)
+            head = r.block
+            order.append(r.block)
+        return order
+
+    def test_upward_sweep_then_reverse(self):
+        q = LookQueue()
+        for b in (150, 50, 200, 80):
+            q.push(Req(b))
+        # head 100, direction up: serve 150, 200; reverse: 80, 50
+        assert self.drain(q, 100) == [150, 200, 80, 50]
+
+    def test_reversal_flips_direction_state(self):
+        q = LookQueue()
+        q.push(Req(10))
+        assert q._direction == 1
+        assert q.pop(100).block == 10  # nothing ahead -> reversed
+        assert q._direction == -1
+        # next sweep continues downward: 40 is "ahead" (<= head 10? no — 40 > 10,
+        # so going down from 10 nothing is ahead and it reverses again)
+        q.push(Req(40))
+        q.push(Req(5))
+        assert q.pop(10).block == 5
+        assert q._direction == -1
+
+    def test_block_at_head_counts_as_ahead_in_both_directions(self):
+        for direction in (1, -1):
+            q = LookQueue()
+            q._direction = direction
+            q.push(Req(100, "at-head"))
+            q.push(Req(100 + direction * 50))
+            assert q.pop(100).tag == "at-head"
+            assert q._direction == direction  # no reversal needed
+
+    def test_double_reversal_on_alternating_extremes(self):
+        q = LookQueue()
+        for b in (900, 100, 800, 200):
+            q.push(Req(b))
+        # head 500 going up: 800, 900; reverse: 200, 100
+        assert self.drain(q, 500) == [800, 900, 200, 100]
+
+    def test_factory_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_scheduler("elevator-2000")

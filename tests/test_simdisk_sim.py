@@ -234,3 +234,56 @@ class TestVectorisedClosedLoop:
         res = simulate_closed(trace, model, n_disks=4)
         assert res.per_disk_busy_ms[0] == 0.0
         assert res.per_disk_busy_ms[2] > 0.0
+
+
+class TestLatencyDigest:
+    """Satellite: p50/p95 + per-disk request counts from both engines."""
+
+    def test_closed_loop_fields_populated(self, model, rng):
+        trace = closed_trace(rng, n=300, disks=4)
+        res = simulate_closed(trace, model)
+        assert res.p50_latency_ms > 0
+        assert res.p50_latency_ms <= res.p95_latency_ms <= res.p99_latency_ms
+        assert res.per_disk_requests is not None
+        assert res.per_disk_requests.sum() == res.n_requests == 300
+        counts = np.bincount(trace.disk, minlength=4)
+        assert np.array_equal(res.per_disk_requests, counts)
+
+    def test_event_engine_fields_populated(self, model, rng):
+        trace = closed_trace(rng, n=300, disks=4)
+        res = DiskArraySimulator(model, 4, scheduler="fcfs").run(trace)
+        assert res.p50_latency_ms > 0
+        assert res.p50_latency_ms <= res.p95_latency_ms <= res.p99_latency_ms
+        assert res.per_disk_requests is not None
+        assert res.per_disk_requests.sum() == 300
+
+    def test_engines_agree_on_digest(self, model, rng):
+        """Closed-loop FCFS and the event engine see identical latencies."""
+        trace = closed_trace(rng, n=250, disks=4)
+        a = simulate_closed(trace, model)
+        b = DiskArraySimulator(model, 4, scheduler="fcfs").run(trace)
+        assert a.p50_latency_ms == pytest.approx(b.p50_latency_ms)
+        assert a.p95_latency_ms == pytest.approx(b.p95_latency_ms)
+        assert a.p99_latency_ms == pytest.approx(b.p99_latency_ms)
+        assert np.array_equal(a.per_disk_requests, b.per_disk_requests)
+
+    def test_latency_summary_dict(self, model, rng):
+        trace = closed_trace(rng, n=50, disks=2)
+        res = simulate_closed(trace, model)
+        summary = res.latency_summary()
+        assert summary["mean_latency_ms"] == pytest.approx(res.mean_latency_ms)
+        assert summary["p50_latency_ms"] == pytest.approx(res.p50_latency_ms)
+        assert summary["p95_latency_ms"] == pytest.approx(res.p95_latency_ms)
+        assert summary["p99_latency_ms"] == pytest.approx(res.p99_latency_ms)
+        assert summary["n_requests"] == res.n_requests
+        assert summary["per_disk_requests"] == [int(c) for c in res.per_disk_requests]
+
+    def test_empty_trace_digest(self, model):
+        trace = Trace(
+            arrival_ms=np.zeros(0),
+            disk=np.zeros(0, dtype=np.int32),
+            block=np.zeros(0, dtype=np.int64),
+            is_write=np.zeros(0, dtype=bool),
+        )
+        res = simulate_closed(trace, model, n_disks=2)
+        assert res.p50_latency_ms == 0.0 and res.p95_latency_ms == 0.0
