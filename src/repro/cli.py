@@ -306,6 +306,32 @@ def _cmd_scrub_demo(args: argparse.Namespace) -> int:
     return 0 if raid6.verify() else 1
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Static verification gate; exit 0 clean / 1 findings / 2 internal."""
+    from repro.obs import get_registry
+    from repro.staticcheck import EXIT_INTERNAL_ERROR, run_checks
+    from repro.staticcheck.runner import QUICK_PRIMES
+
+    primes = tuple(args.primes) if args.primes else (QUICK_PRIMES if args.quick else None)
+    analyzers = tuple(args.analyzer) if args.analyzer else None
+    registry = get_registry()
+    metrics_on = registry.enabled
+    if args.metrics:
+        registry.enabled = True
+    try:
+        report = run_checks(primes=primes, analyzers=analyzers, registry=registry)
+    except KeyError as exc:
+        print(f"check: {exc}", file=sys.stderr)
+        return EXIT_INTERNAL_ERROR
+    finally:
+        registry.enabled = metrics_on
+    print(report.to_json() if args.json else report.render_text())
+    if args.metrics:
+        print("metrics snapshot")
+        print(registry.render_text())
+    return report.exit_code
+
+
 def _cmd_efficiency(args: argparse.Namespace) -> int:
     from repro.analysis import efficiency_sweep
 
@@ -405,6 +431,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_eff = sub.add_parser("efficiency", help="Eq. 6 storage-efficiency sweep")
     p_eff.add_argument("--max-m", type=int, default=20)
     p_eff.set_defaults(func=_cmd_efficiency)
+
+    p_check = sub.add_parser(
+        "check", help="static verification (GF(2) prover, dataflow, lint)"
+    )
+    p_check.add_argument(
+        "--analyzer",
+        action="append",
+        choices=("dataflow", "lint", "prover", "selftest"),
+        help="run only this analyzer (repeatable; default: all)",
+    )
+    p_check.add_argument(
+        "--primes", type=int, nargs="+", metavar="P",
+        help="prover prime sweep (default: every prime 5..31)",
+    )
+    p_check.add_argument(
+        "--quick", action="store_true", help="small prime sweep (5, 7)"
+    )
+    p_check.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    p_check.add_argument(
+        "--metrics", action="store_true",
+        help="also print the staticcheck metrics snapshot",
+    )
+    p_check.set_defaults(func=_cmd_check)
 
     return parser
 

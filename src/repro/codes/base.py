@@ -11,10 +11,14 @@ chain, not per stripe.
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.codes.decoder import PlanCache, apply_recovery_plan
 from repro.codes.geometry import Cell, CodeLayout
 from repro.codes.plans import RecoveryPlan
+
+#: payload arrays are always uint8 blocks
+Stripe = npt.NDArray[np.uint8]
 
 
 class ArrayCode:
@@ -61,44 +65,46 @@ class ArrayCode:
         return self.layout.num_data / physical
 
     # -------------------------------------------------------------- stripes
-    def empty_stripe(self, block_size: int = 16, batch: int | None = None) -> np.ndarray:
+    def empty_stripe(self, block_size: int = 16, batch: int | None = None) -> Stripe:
         shape: tuple[int, ...] = (self.rows, self.cols, block_size)
         if batch is not None:
             shape = (batch,) + shape
         return np.zeros(shape, dtype=np.uint8)
 
-    def make_stripe(self, data_blocks: np.ndarray) -> np.ndarray:
+    def make_stripe(self, data_blocks: npt.ArrayLike) -> Stripe:
         """Lay out ``data_blocks`` into an encoded stripe.
 
         ``data_blocks`` is ``(num_data, block)`` or ``(batch, num_data,
         block)``, assigned to data cells in row-major order.
         """
-        data_blocks = np.asarray(data_blocks, dtype=np.uint8)
-        batched = data_blocks.ndim == 3
-        if data_blocks.shape[-2] != self.num_data:
+        blocks: Stripe = np.asarray(data_blocks, dtype=np.uint8)
+        batched = blocks.ndim == 3
+        if blocks.shape[-2] != self.num_data:
             raise ValueError(
                 f"{self.name} stripe holds {self.num_data} data blocks, "
-                f"got {data_blocks.shape[-2]}"
+                f"got {blocks.shape[-2]}"
             )
         stripe = self.empty_stripe(
-            block_size=data_blocks.shape[-1],
-            batch=data_blocks.shape[0] if batched else None,
+            block_size=blocks.shape[-1],
+            batch=blocks.shape[0] if batched else None,
         )
         for i, (r, c) in enumerate(self.layout.data_cells):
-            stripe[..., r, c, :] = data_blocks[..., i, :]
+            stripe[..., r, c, :] = blocks[..., i, :]
         self.encode(stripe)
         return stripe
 
-    def extract_data(self, stripe: np.ndarray) -> np.ndarray:
+    def extract_data(self, stripe: Stripe) -> Stripe:
         """Inverse of :meth:`make_stripe`: gather the data blocks."""
         cells = self.layout.data_cells
-        out = np.empty(stripe.shape[:-3] + (len(cells), stripe.shape[-1]), dtype=np.uint8)
+        out: Stripe = np.empty(
+            stripe.shape[:-3] + (len(cells), stripe.shape[-1]), dtype=np.uint8
+        )
         for i, (r, c) in enumerate(cells):
             out[..., i, :] = stripe[..., r, c, :]
         return out
 
     # --------------------------------------------------------------- encode
-    def encode(self, stripe: np.ndarray) -> np.ndarray:
+    def encode(self, stripe: Stripe) -> Stripe:
         """Fill every parity cell of ``stripe`` in dependency order."""
         self._check_shape(stripe)
         virtual = self.layout.virtual_cells
@@ -119,7 +125,7 @@ class ArrayCode:
                 np.bitwise_xor(out, stripe[..., r, c, :], out=out)
         return stripe
 
-    def verify(self, stripe: np.ndarray) -> bool:
+    def verify(self, stripe: Stripe) -> bool:
         """True when every parity chain holds and virtual cells are zero."""
         self._check_shape(stripe)
         virtual = self.layout.virtual_cells
@@ -145,19 +151,19 @@ class ArrayCode:
         """Recovery plan for an arbitrary set of lost cells."""
         return self._plans.plan_for_cells(cells)
 
-    def decode_columns(self, stripe: np.ndarray, *cols: int) -> np.ndarray:
+    def decode_columns(self, stripe: Stripe, *cols: int) -> Stripe:
         """Rebuild the full content of failed columns in place."""
         self._check_shape(stripe)
         plan = self.plan_column_recovery(*cols)
         return apply_recovery_plan(plan, stripe)
 
-    def decode_cells(self, stripe: np.ndarray, cells: tuple[Cell, ...]) -> np.ndarray:
+    def decode_cells(self, stripe: Stripe, cells: tuple[Cell, ...]) -> Stripe:
         self._check_shape(stripe)
         plan = self.plan_cell_recovery(cells)
         return apply_recovery_plan(plan, stripe)
 
     # --------------------------------------------------------------- update
-    def update_block(self, stripe: np.ndarray, cell: Cell, new_value: np.ndarray) -> int:
+    def update_block(self, stripe: Stripe, cell: Cell, new_value: npt.ArrayLike) -> int:
         """Read-modify-write a single data block, patching parities.
 
         Uses the delta method (optimal update): parity ^= old ^ new along
@@ -171,9 +177,9 @@ class ArrayCode:
             raise ValueError(f"{cell} is a parity cell; write data cells only")
         if (r, c) in self.layout.virtual_cells:
             raise ValueError(f"{cell} is virtual; it holds no data")
-        new_value = np.asarray(new_value, dtype=np.uint8)
-        delta = np.bitwise_xor(stripe[..., r, c, :], new_value)
-        stripe[..., r, c, :] = new_value
+        value: Stripe = np.asarray(new_value, dtype=np.uint8)
+        delta = np.bitwise_xor(stripe[..., r, c, :], value)
+        stripe[..., r, c, :] = value
         touched: list[Cell] = []
         frontier: list[Cell] = [cell]
         seen: set[Cell] = set()
@@ -190,7 +196,7 @@ class ArrayCode:
         return len(touched)
 
     # -------------------------------------------------------------- helpers
-    def _check_shape(self, stripe: np.ndarray) -> None:
+    def _check_shape(self, stripe: Stripe) -> None:
         if stripe.ndim not in (3, 4):
             raise ValueError("stripe must be (rows, cols, block) or (batch, rows, cols, block)")
         if stripe.shape[-3] != self.rows or stripe.shape[-2] != self.cols:

@@ -22,7 +22,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.codes.decoder import apply_recovery_plan
 from repro.migration.plan import ConversionPlan, GroupWork
 from repro.obs.tracer import get_tracer
 from repro.raid.array import BlockArray

@@ -40,6 +40,7 @@ from repro.obs.record import (
     record_compiler_cache,
     record_conversion,
     record_sim_result,
+    record_staticcheck,
 )
 from repro.obs.stats import render_summary, summarise_trace
 from repro.obs.timeline import (
@@ -79,6 +80,7 @@ __all__ = [
     "record_compiler_cache",
     "record_conversion",
     "record_sim_result",
+    "record_staticcheck",
     # stats
     "summarise_trace",
     "render_summary",

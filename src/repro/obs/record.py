@@ -19,6 +19,7 @@ __all__ = [
     "record_conversion",
     "record_sim_result",
     "record_compiler_cache",
+    "record_staticcheck",
 ]
 
 
@@ -86,3 +87,22 @@ def record_compiler_cache(registry: MetricsRegistry | None = None) -> None:
         c = registry.counter(f"compiler.cache.{key}")
         c.reset()
         c.inc(info[key])
+
+
+def record_staticcheck(report, registry: MetricsRegistry | None = None) -> None:
+    """Checks/findings/durations of a :class:`~repro.staticcheck.CheckReport`.
+
+    Findings are counted per ``(analyzer, rule)`` label pair so a metrics
+    dashboard distinguishes a lint regression from a broken proof.
+    """
+    registry = registry if registry is not None else get_registry()
+    for analyzer, n in report.checks.items():
+        registry.counter("staticcheck.checks", analyzer=analyzer).inc(n)
+    for finding in report.findings:
+        registry.counter(
+            "staticcheck.findings", analyzer=finding.analyzer, rule=finding.rule
+        ).inc()
+    for analyzer, seconds in report.durations.items():
+        registry.gauge("staticcheck.duration_s", analyzer=analyzer).set(seconds)
+    registry.counter("staticcheck.internal_errors").inc(len(report.internal_errors))
+    registry.gauge("staticcheck.exit_code").set(report.exit_code)

@@ -1,0 +1,38 @@
+"""Static verification: symbolic code prover, dataflow analyzer, lint.
+
+Three analyzers, one report format, one front-end:
+
+* :mod:`repro.staticcheck.prover` — proves the MDS property and the
+  Code 5-6 / RAID-5 parity identity from parity-check matrices over
+  GF(2), without executing a single XOR;
+* :mod:`repro.staticcheck.dataflow` — def/use analysis of conversion
+  plans, their compiled index programs, and the online converter's
+  write interleavings;
+* :mod:`repro.staticcheck.lint` — project-specific AST rules over
+  ``src/``;
+* :mod:`repro.staticcheck.selftest` — seeded faults proving the
+  checkers are not vacuously green.
+
+Run everything with ``python -m repro.staticcheck`` or ``repro check``.
+"""
+
+from repro.staticcheck.report import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_INTERNAL_ERROR,
+    CheckReport,
+    Finding,
+    Severity,
+)
+from repro.staticcheck.runner import ANALYZERS, run_checks
+
+__all__ = [
+    "EXIT_CLEAN",
+    "EXIT_FINDINGS",
+    "EXIT_INTERNAL_ERROR",
+    "CheckReport",
+    "Finding",
+    "Severity",
+    "ANALYZERS",
+    "run_checks",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.staticcheck`` — run every static analyzer."""
+
+import sys
+
+from repro.staticcheck.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,169 @@
+"""Project-specific AST lint over ``src/repro``.
+
+Three rules that generic linters cannot express, each guarding an
+invariant earlier PRs fought for:
+
+* **SC-L001** — ``BlockArray``'s private buffers (``_store``,
+  ``_failed``) are only touched inside ``raid/array.py``.  Everything
+  else must go through the counted/bulk I/O API, or the I/O accounting
+  that the paper's figures are built on silently drifts.
+* **SC-L002** — no per-block Python loop performs counted I/O inside a
+  hot-path module (the compiled executor and the bulk helpers exist
+  precisely to batch those): a ``for ... in range(...)`` whose body
+  calls ``.read(`` / ``.write(`` / ``.write_zero(`` is flagged.
+* **SC-L003** — no *new* imports of the deprecated
+  ``repro.migration.fast`` shim outside its own package exports and the
+  code that still intentionally references it.
+
+The rules operate purely on the AST — no imports of the linted modules
+— so a syntax-level violation is caught even in code that is never
+executed by the test suite.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.staticcheck.report import Finding
+
+__all__ = [
+    "PRIVATE_BUFFER_ATTRS",
+    "HOT_PATH_MODULES",
+    "lint_source",
+    "run_lint",
+]
+
+#: BlockArray internals nobody else may name
+PRIVATE_BUFFER_ATTRS = frozenset({"_store", "_failed"})
+#: modules allowed to touch them (the class lives there)
+_PRIVATE_ALLOWED = frozenset({"raid/array.py"})
+
+#: modules whose docstrings promise batched I/O — per-block loops banned
+HOT_PATH_MODULES = frozenset(
+    {"compiled/executor.py", "util/blocks.py", "migration/fast.py"}
+)
+_PER_BLOCK_CALLS = frozenset({"read", "write", "write_zero"})
+
+_DEPRECATED_MODULE = "repro.migration.fast"
+#: the shim itself, the package export keeping the public name alive,
+#: and this package's own self-test fixtures
+_DEPRECATED_ALLOWED = frozenset(
+    {"migration/__init__.py", "migration/fast.py"}
+)
+
+#: rules evaluated per file (the per-file check count)
+RULES = ("SC-L001", "SC-L002", "SC-L003")
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, rel_path: str):
+        self.rel = rel_path
+        self.findings: list[Finding] = []
+
+    def _flag(self, rule: str, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                analyzer="lint",
+                rule=rule,
+                location=f"{self.rel}:{getattr(node, 'lineno', 0)}",
+                message=message,
+            )
+        )
+
+    # ------------------------------------------------------------ SC-L001
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr in PRIVATE_BUFFER_ATTRS and self.rel not in _PRIVATE_ALLOWED:
+            self._flag(
+                "SC-L001",
+                node,
+                f"direct access to BlockArray private buffer `.{node.attr}` — "
+                "use the counted/bulk I/O API (read/write/bulk_view/raw)",
+            )
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------ SC-L002
+    def visit_For(self, node: ast.For) -> None:
+        if self.rel in HOT_PATH_MODULES and self._is_range_loop(node):
+            call = self._per_block_io_call(node)
+            if call is not None:
+                self._flag(
+                    "SC-L002",
+                    node,
+                    f"per-block `{call}` inside a range() loop in a hot-path "
+                    "module — batch it through the bulk I/O API",
+                )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_range_loop(node: ast.For) -> bool:
+        it = node.iter
+        return (
+            isinstance(it, ast.Call)
+            and isinstance(it.func, ast.Name)
+            and it.func.id == "range"
+        )
+
+    @staticmethod
+    def _per_block_io_call(node: ast.For) -> str | None:
+        for child in ast.walk(node):
+            if (
+                isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Attribute)
+                and child.func.attr in _PER_BLOCK_CALLS
+            ):
+                return f".{child.func.attr}()"
+        return None
+
+    # ------------------------------------------------------------ SC-L003
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == _DEPRECATED_MODULE and self.rel not in _DEPRECATED_ALLOWED:
+                self._flag(
+                    "SC-L003",
+                    node,
+                    "import of deprecated repro.migration.fast — "
+                    "use BlockArray.bulk_view/credit_ios or the compiled engine",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if self.rel not in _DEPRECATED_ALLOWED:
+            module = node.module or ""
+            if module == _DEPRECATED_MODULE or (
+                module == "repro.migration"
+                and any(alias.name == "fast" for alias in node.names)
+            ):
+                self._flag(
+                    "SC-L003",
+                    node,
+                    "import of deprecated repro.migration.fast — "
+                    "use BlockArray.bulk_view/credit_ios or the compiled engine",
+                )
+        self.generic_visit(node)
+
+
+def lint_source(source: str, rel_path: str) -> list[Finding]:
+    """Lint one module's source; ``rel_path`` is relative to ``repro/``."""
+    tree = ast.parse(source, filename=rel_path)
+    linter = _Linter(rel_path.replace("\\", "/"))
+    linter.visit(tree)
+    return linter.findings
+
+
+def run_lint(package_root: Path | None = None) -> tuple[int, list[Finding]]:
+    """Lint every module under ``repro`` (or ``package_root``)."""
+    if package_root is None:
+        import repro
+
+        package_root = Path(repro.__file__).resolve().parent
+    findings: list[Finding] = []
+    checks = 0
+    for path in sorted(package_root.rglob("*.py")):
+        rel = path.relative_to(package_root).as_posix()
+        if rel.startswith("staticcheck/"):
+            # the analyzers name the forbidden symbols in their own rules
+            continue
+        checks += len(RULES)
+        findings.extend(lint_source(path.read_text(), rel))
+    return checks, findings

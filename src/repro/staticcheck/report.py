@@ -1,0 +1,145 @@
+"""Findings and reports shared by every static analyzer.
+
+A :class:`Finding` is one violated proof obligation or lint rule; a
+:class:`CheckReport` aggregates the findings of a whole run together
+with how many obligations were *discharged* (so "0 findings" can be told
+apart from "0 checks ran" — a vacuously green checker is a bug, which is
+what the seeded-fault self-test guards against).
+
+Exit-code contract (enforced by ``python -m repro.staticcheck`` and the
+``repro check`` CLI, and relied on by CI):
+
+* ``0`` — every check ran and produced no findings;
+* ``1`` — at least one finding;
+* ``2`` — an analyzer failed internally (crash, unbuildable input).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Severity",
+    "Finding",
+    "CheckReport",
+    "EXIT_CLEAN",
+    "EXIT_FINDINGS",
+    "EXIT_INTERNAL_ERROR",
+]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_INTERNAL_ERROR = 2
+
+
+class Severity:
+    """Severity levels (plain strings so reports stay JSON-trivial)."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violated obligation.
+
+    ``analyzer`` is the producing subsystem (``prover`` / ``dataflow`` /
+    ``lint`` / ``selftest``), ``rule`` a stable machine-readable id
+    (``SC-P001`` ...), ``location`` whatever locates the problem —
+    ``path:line`` for lint, ``code@p=7`` for the prover, a plan label for
+    the dataflow analyzer.
+    """
+
+    analyzer: str
+    rule: str
+    location: str
+    message: str
+    severity: str = Severity.ERROR
+
+    def to_dict(self) -> dict:
+        return {
+            "analyzer": self.analyzer,
+            "rule": self.rule,
+            "severity": self.severity,
+            "location": self.location,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"[{self.rule}] {self.severity} {self.location}: {self.message}"
+
+
+@dataclass
+class CheckReport:
+    """Aggregated outcome of one static-check run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    #: proof obligations discharged / rules evaluated, per analyzer
+    checks: dict[str, int] = field(default_factory=dict)
+    #: analyzer name -> wall seconds
+    durations: dict[str, float] = field(default_factory=dict)
+    #: internal analyzer failures (tracebacks / messages); non-empty => exit 2
+    internal_errors: list[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------ aggregation
+    def add(self, findings: list[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def count_checks(self, analyzer: str, n: int) -> None:
+        self.checks[analyzer] = self.checks.get(analyzer, 0) + n
+
+    @property
+    def total_checks(self) -> int:
+        return sum(self.checks.values())
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == Severity.ERROR]
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.internal_errors
+
+    @property
+    def exit_code(self) -> int:
+        if self.internal_errors:
+            return EXIT_INTERNAL_ERROR
+        if self.findings:
+            return EXIT_FINDINGS
+        return EXIT_CLEAN
+
+    # -------------------------------------------------------------- rendering
+    def to_dict(self) -> dict:
+        return {
+            "clean": self.clean,
+            "exit_code": self.exit_code,
+            "checks": dict(self.checks),
+            "total_checks": self.total_checks,
+            "durations_s": {k: round(v, 4) for k, v in self.durations.items()},
+            "findings": [f.to_dict() for f in self.findings],
+            "internal_errors": list(self.internal_errors),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def render_text(self) -> str:
+        lines = []
+        for f in self.findings:
+            lines.append(f.render())
+        for err in self.internal_errors:
+            lines.append(f"[internal-error] {err}")
+        for analyzer in sorted(self.checks):
+            dur = self.durations.get(analyzer)
+            suffix = f" in {dur:.2f}s" if dur is not None else ""
+            lines.append(
+                f"{analyzer}: {self.checks[analyzer]} check(s){suffix}, "
+                f"{sum(1 for f in self.findings if f.analyzer == analyzer)} finding(s)"
+            )
+        verdict = "CLEAN" if self.clean else ("INTERNAL ERROR" if self.internal_errors else "FINDINGS")
+        lines.append(
+            f"staticcheck: {verdict} — {self.total_checks} checks, "
+            f"{len(self.findings)} finding(s), exit {self.exit_code}"
+        )
+        return "\n".join(lines)

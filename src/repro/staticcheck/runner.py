@@ -1,0 +1,137 @@
+"""Front-end: run the analyzers, aggregate a report, set the exit code.
+
+``python -m repro.staticcheck`` and ``repro check`` both land here.  An
+analyzer that *crashes* is an internal error (exit 2) — distinct from
+findings (exit 1) — so CI can tell "the code is wrong" apart from "the
+checker is wrong".
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+import traceback
+from collections.abc import Callable
+
+from repro.staticcheck.report import Finding, CheckReport
+
+__all__ = ["ANALYZERS", "run_checks", "main"]
+
+#: quick sweep (CI smoke / tests); the full sweep covers 5..31
+QUICK_PRIMES: tuple[int, ...] = (5, 7)
+
+
+def _run_prover(primes: tuple[int, ...]) -> tuple[int, list[Finding]]:
+    from repro.staticcheck.prover import run_prover
+
+    return run_prover(primes=primes)
+
+
+def _run_dataflow(primes: tuple[int, ...]) -> tuple[int, list[Finding]]:
+    from repro.staticcheck.dataflow import run_dataflow
+
+    # plan analysis scales with group count; two primes cover every
+    # planner branch (virtual disks appear whenever n is held at the
+    # smaller canonical width)
+    return run_dataflow(primes=tuple(p for p in primes if p <= 7) or (5,))
+
+
+def _run_lint(primes: tuple[int, ...]) -> tuple[int, list[Finding]]:
+    from repro.staticcheck.lint import run_lint
+
+    return run_lint()
+
+
+def _run_selftest(primes: tuple[int, ...]) -> tuple[int, list[Finding]]:
+    from repro.staticcheck.selftest import run_selftest
+
+    return run_selftest()
+
+
+ANALYZERS: dict[str, Callable[[tuple[int, ...]], tuple[int, list[Finding]]]] = {
+    "prover": _run_prover,
+    "dataflow": _run_dataflow,
+    "lint": _run_lint,
+    "selftest": _run_selftest,
+}
+
+
+def run_checks(
+    primes: tuple[int, ...] | None = None,
+    analyzers: tuple[str, ...] | None = None,
+    registry=None,
+) -> CheckReport:
+    """Run ``analyzers`` (default: all) and aggregate a report.
+
+    ``primes`` bounds the prover sweep (default: every prime 5..31).
+    Findings and check counts are mirrored into the ``repro.obs``
+    metrics registry (``registry`` overrides the global one).
+    """
+    from repro.staticcheck.prover import DEFAULT_PRIMES
+
+    primes = tuple(primes) if primes else DEFAULT_PRIMES
+    selected = tuple(analyzers) if analyzers else tuple(ANALYZERS)
+    report = CheckReport()
+    for name in selected:
+        runner = ANALYZERS.get(name)
+        if runner is None:
+            raise KeyError(f"unknown analyzer {name!r}; known: {sorted(ANALYZERS)}")
+        start = time.perf_counter()
+        try:
+            checks, findings = runner(primes)
+        except Exception:
+            report.internal_errors.append(f"{name}: {traceback.format_exc()}")
+        else:
+            report.count_checks(name, checks)
+            report.add(findings)
+        report.durations[name] = time.perf_counter() - start
+
+    from repro.obs import record_staticcheck
+
+    record_staticcheck(report, registry=registry)
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.staticcheck",
+        description="Static verification: GF(2) code prover, plan/program "
+        "dataflow analyzer, AST lint, seeded-fault self-test.",
+    )
+    parser.add_argument(
+        "--analyzer",
+        action="append",
+        choices=sorted(ANALYZERS),
+        help="run only this analyzer (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--primes",
+        type=int,
+        nargs="+",
+        metavar="P",
+        help="prover prime sweep (default: every prime 5..31)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"shorthand for --primes {' '.join(map(str, QUICK_PRIMES))}",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON instead of text",
+    )
+    args = parser.parse_args(argv)
+
+    primes = tuple(args.primes) if args.primes else (QUICK_PRIMES if args.quick else None)
+    try:
+        report = run_checks(
+            primes=primes,
+            analyzers=tuple(args.analyzer) if args.analyzer else None,
+        )
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.to_json() if args.json else report.render_text())
+    return report.exit_code

@@ -1,0 +1,171 @@
+"""Seeded-fault self-test: prove the checkers are not vacuously green.
+
+A static checker that always says CLEAN is indistinguishable from one
+that checks nothing.  This module plants known faults — one broken
+parity equation per catalog code, and corrupted index vectors in a
+compiled conversion program — and demands the prover/dataflow analyzer
+flag every single one.  An undetected fault is itself a finding
+(**SC-S001**), so a regression that blinds an analyzer turns the gate
+red instead of silently weakening it.
+
+The mutations are deliberately *minimal* (one dropped chain member, one
+off-by-one block index): if the analyzers catch these, they catch
+anything coarser.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import replace
+
+import numpy as np
+
+from repro.codes.geometry import CodeLayout, ParityChain
+from repro.codes.registry import CODE_CATALOG, get_layout
+from repro.staticcheck.report import Finding
+
+__all__ = ["mutated_layouts", "mutated_programs", "run_selftest"]
+
+
+def _drop_member(layout: CodeLayout) -> CodeLayout:
+    """Remove one real member from the first chain that has any.
+
+    The dropped term changes one parity equation; for a storage-optimal
+    code this must break either two-erasure recoverability (SC-P001) or
+    parity determinism (SC-P002).
+    """
+    virtual = layout.virtual_cells
+    for i, chain in enumerate(layout.chains):
+        real = [m for m in chain.members if m not in virtual]
+        if not real:
+            continue
+        members = tuple(m for m in chain.members if m != real[0])
+        chains = list(layout.chains)
+        chains[i] = ParityChain(chain.parity, members, chain.kind)
+        return CodeLayout(
+            name=layout.name,
+            p=layout.p,
+            rows=layout.rows,
+            cols=layout.cols,
+            chains=chains,
+            virtual_cols=layout.virtual_cols,
+            extra_virtual_cells=layout.extra_virtual_cells,
+        )
+    raise AssertionError(f"{layout.name}: no chain with real members to mutate")
+
+
+def mutated_layouts(p: int = 5) -> list[tuple[str, CodeLayout]]:
+    """One broken-parity-equation variant of every catalog code."""
+    return [
+        (name, _drop_member(get_layout(name, p))) for name in sorted(CODE_CATALOG)
+    ]
+
+
+def _copy_program(program):
+    """Deep-copy a CompiledPlan so mutations cannot leak anywhere."""
+    phases = tuple(
+        dataclasses.replace(
+            ph,
+            **{
+                f.name: getattr(ph, f.name).copy()
+                for f in dataclasses.fields(ph)
+                if isinstance(getattr(ph, f.name), np.ndarray)
+            },
+        )
+        for ph in program.phases
+    )
+    return replace(program, phases=phases)
+
+
+def _first_phase_with(program, vector: str):
+    for i, ph in enumerate(program.phases):
+        if getattr(ph, vector).size:
+            return i, ph
+    raise AssertionError(f"program has no {vector} entries to mutate")
+
+
+def mutated_programs() -> list[tuple[str, object, object]]:
+    """(description, plan, corrupted program) triples.
+
+    Built fresh with ``use_cache=False``: the compiler cache hands out
+    shared ndarray-backed programs, and mutating a cached program would
+    poison every later compile of the same plan.
+    """
+    from repro.compiled.compiler import compile_plan
+    from repro.migration.approaches import build_plan
+
+    cases: list[tuple[str, object, object]] = []
+
+    plan = build_plan("code56", "direct", 5, groups=2)
+    base = compile_plan(plan, use_cache=False)
+
+    prog = _copy_program(base)
+    _i, ph = _first_phase_with(prog, "parity_block")
+    ph.parity_block[0] = (ph.parity_block[0] + 1) % plan.blocks_per_disk
+    cases.append(("code56/direct: parity write retargeted one block off", plan, prog))
+
+    prog = _copy_program(base)
+    _i, ph = _first_phase_with(prog, "read_disk")
+    ph.read_disk[0] = (ph.read_disk[0] + 1) % plan.n
+    cases.append(("code56/direct: stripe read redirected to wrong disk", plan, prog))
+
+    prog = _copy_program(base)
+    _i, ph = _first_phase_with(prog, "read_block")
+    ph.read_block[0] = plan.blocks_per_disk  # one past the end
+    cases.append(("code56/direct: read index out of bounds", plan, prog))
+
+    mplan = build_plan("rdp", "via-raid4", 5, groups=4)
+    mbase = compile_plan(mplan, use_cache=False)
+    prog = _copy_program(mbase)
+    _i, ph = _first_phase_with(prog, "migrate_dst_block")
+    ph.migrate_dst_block[0] = (ph.migrate_dst_block[0] + 1) % mplan.blocks_per_disk
+    cases.append(("rdp/via-raid4: migration lands on the wrong block", mplan, prog))
+
+    prog = _copy_program(mbase)
+    _i, ph = _first_phase_with(prog, "migrate_src_disk")
+    ph.migrate_src_disk[0] = (ph.migrate_src_disk[0] + 1) % mplan.n
+    cases.append(("rdp/via-raid4: migration reads the wrong source disk", mplan, prog))
+
+    return cases
+
+
+def run_selftest() -> tuple[int, list[Finding]]:
+    """Every seeded fault must be detected; each miss is an SC-S001."""
+    from repro.staticcheck.dataflow import analyze_program
+    from repro.staticcheck.prover import prove_code
+
+    findings: list[Finding] = []
+    checks = 0
+
+    for name, broken in mutated_layouts(p=5):
+        checks += 1
+        _c, caught = prove_code(name, 5, layout=broken)
+        if not caught:
+            findings.append(
+                Finding(
+                    analyzer="selftest",
+                    rule="SC-S001",
+                    location=f"{name}@p=5",
+                    message=(
+                        "prover missed a seeded fault: one member dropped from a "
+                        "parity chain went undetected — the MDS proof is vacuous"
+                    ),
+                )
+            )
+
+    for description, plan, program in mutated_programs():
+        checks += 1
+        _c, caught = analyze_program(plan, program)
+        if not caught:
+            findings.append(
+                Finding(
+                    analyzer="selftest",
+                    rule="SC-S001",
+                    location=description,
+                    message=(
+                        "dataflow analyzer missed a seeded fault: a corrupted "
+                        "compiled index program went undetected"
+                    ),
+                )
+            )
+    return checks, findings

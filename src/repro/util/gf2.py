@@ -6,16 +6,35 @@ matrices involved are tiny (a few dozen unknowns — two columns of a
 stripe), so a dense uint8 elimination is both simple and fast.  The
 *block* work (XORing kilobyte payloads) is vectorised separately in
 :mod:`repro.util.blocks`; nothing here touches payload data.
+
+The symbolic code prover (:mod:`repro.staticcheck.prover`) works with
+the same algebra at much higher call volume (tens of thousands of rank
+queries per sweep), so this module also provides a bit-packed
+representation: a GF(2) vector as a Python int, one bit per coordinate,
+with :class:`Gf2Basis` doing incremental elimination in word-sized XORs.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+
 import numpy as np
+import numpy.typing as npt
 
-__all__ = ["gf2_elimination", "gf2_rank", "gf2_solve", "gf2_inverse"]
+__all__ = [
+    "gf2_elimination",
+    "gf2_rank",
+    "gf2_solve",
+    "gf2_inverse",
+    "Gf2Basis",
+    "gf2_rank_ints",
+]
+
+#: dtype alias for the uint8 0/1 matrices this module trades in
+U8Matrix = npt.NDArray[np.uint8]
 
 
-def gf2_elimination(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray, list[int]]:
+def gf2_elimination(matrix: npt.ArrayLike) -> tuple[U8Matrix, U8Matrix, list[int]]:
     """Reduced row-echelon form of ``matrix`` over GF(2).
 
     Returns ``(rref, transform, pivot_cols)`` where ``transform`` records
@@ -23,15 +42,15 @@ def gf2_elimination(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray, list[in
     is the key output for the decoder: its rows say which original
     equations combine to isolate each unknown.
     """
-    a = np.asarray(matrix, dtype=np.uint8).copy() % 2
+    a: U8Matrix = (np.asarray(matrix, dtype=np.uint8).copy() % 2).astype(np.uint8)
     rows, cols = a.shape
-    t = np.eye(rows, dtype=np.uint8)
+    t: U8Matrix = np.eye(rows, dtype=np.uint8)
     pivot_cols: list[int] = []
     row = 0
     for col in range(cols):
         if row == rows:
             break
-        pivot = None
+        pivot: int | None = None
         for r in range(row, rows):
             if a[r, col]:
                 pivot = r
@@ -51,38 +70,38 @@ def gf2_elimination(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray, list[in
     return a, t, pivot_cols
 
 
-def gf2_rank(matrix: np.ndarray) -> int:
+def gf2_rank(matrix: npt.ArrayLike) -> int:
     """Rank of ``matrix`` over GF(2)."""
     _, _, pivots = gf2_elimination(matrix)
     return len(pivots)
 
 
-def gf2_solve(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray | None:
+def gf2_solve(matrix: npt.ArrayLike, rhs: npt.ArrayLike) -> U8Matrix | None:
     """Solve ``matrix @ x = rhs`` over GF(2).
 
     Returns the unique solution vector, or ``None`` when the system is
     inconsistent **or** underdetermined (erasure decoding needs a unique
     answer; a solution space of dimension > 0 means unrecoverable).
     """
-    a = np.asarray(matrix, dtype=np.uint8) % 2
-    b = np.asarray(rhs, dtype=np.uint8) % 2
+    a: U8Matrix = (np.asarray(matrix, dtype=np.uint8) % 2).astype(np.uint8)
+    b: U8Matrix = (np.asarray(rhs, dtype=np.uint8) % 2).astype(np.uint8)
     rows, cols = a.shape
     rref, t, pivots = gf2_elimination(a)
     if len(pivots) < cols:
         return None
-    tb = (t @ b) % 2
+    tb: U8Matrix = ((t @ b) % 2).astype(np.uint8)
     # rows beyond the rank must have zero RHS, otherwise inconsistent
     if rows > cols and tb[cols:].any():
         return None
-    x = np.zeros(cols, dtype=np.uint8)
+    x: U8Matrix = np.zeros(cols, dtype=np.uint8)
     for r, col in enumerate(pivots):
         x[col] = tb[r]
     return x
 
 
-def gf2_inverse(matrix: np.ndarray) -> np.ndarray | None:
+def gf2_inverse(matrix: npt.ArrayLike) -> U8Matrix | None:
     """Inverse of a square matrix over GF(2), or ``None`` if singular."""
-    a = np.asarray(matrix, dtype=np.uint8) % 2
+    a: U8Matrix = (np.asarray(matrix, dtype=np.uint8) % 2).astype(np.uint8)
     rows, cols = a.shape
     if rows != cols:
         raise ValueError("gf2_inverse requires a square matrix")
@@ -90,3 +109,59 @@ def gf2_inverse(matrix: np.ndarray) -> np.ndarray | None:
     if len(pivots) < cols:
         return None
     return t
+
+
+class Gf2Basis:
+    """Incremental GF(2) basis over bit-packed int vectors.
+
+    Vectors are Python ints (bit ``i`` = coordinate ``i``); insertion
+    keeps one pivot row per leading bit, so :meth:`add` is
+    ``O(rank)`` XORs and independence testing is a by-product.  This is
+    the workhorse of the symbolic prover: deciding whether an erasure
+    pattern is recoverable is exactly asking whether its parity-check
+    columns are linearly independent.
+    """
+
+    __slots__ = ("_pivots",)
+
+    def __init__(self, vectors: Iterable[int] = ()) -> None:
+        #: leading-bit position -> reduced pivot vector
+        self._pivots: dict[int, int] = {}
+        for v in vectors:
+            self.add(v)
+
+    def reduce(self, vector: int) -> int:
+        """Reduce ``vector`` against the basis; 0 iff it is dependent."""
+        v = vector
+        while v:
+            row = self._pivots.get(v.bit_length() - 1)
+            if row is None:
+                return v
+            v ^= row
+        return 0
+
+    def add(self, vector: int) -> bool:
+        """Insert ``vector``; True iff it was independent (rank grew)."""
+        v = self.reduce(vector)
+        if v == 0:
+            return False
+        self._pivots[v.bit_length() - 1] = v
+        return True
+
+    def __contains__(self, vector: int) -> bool:
+        """True when ``vector`` lies in the span of the basis."""
+        return self.reduce(vector) == 0
+
+    @property
+    def rank(self) -> int:
+        return len(self._pivots)
+
+
+def gf2_rank_ints(rows: Iterable[int]) -> int:
+    """Rank over GF(2) of bit-packed int vectors.
+
+    Equivalent to :func:`gf2_rank` on the unpacked 0/1 matrix (tested
+    against it), but orders of magnitude faster for the prover's
+    many-small-queries workload.
+    """
+    return Gf2Basis(rows).rank

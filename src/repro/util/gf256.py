@@ -10,7 +10,10 @@ fancy indexing so payload blocks never round-trip through Python loops.
 
 from __future__ import annotations
 
+from typing import Final, cast
+
 import numpy as np
+import numpy.typing as npt
 
 __all__ = [
     "GF256",
@@ -25,9 +28,9 @@ __all__ = [
 _POLY = 0x11D  # x^8 + x^4 + x^3 + x^2 + 1, generator 2
 
 
-def _build_tables() -> tuple[np.ndarray, np.ndarray]:
-    exp = np.zeros(512, dtype=np.uint8)
-    log = np.zeros(256, dtype=np.int16)
+def _build_tables() -> tuple[npt.NDArray[np.uint8], npt.NDArray[np.int16]]:
+    exp: npt.NDArray[np.uint8] = np.zeros(512, dtype=np.uint8)
+    log: npt.NDArray[np.int16] = np.zeros(256, dtype=np.int16)
     x = 1
     for i in range(255):
         exp[i] = x
@@ -39,6 +42,8 @@ def _build_tables() -> tuple[np.ndarray, np.ndarray]:
     return exp, log
 
 
+EXP_TABLE: Final[npt.NDArray[np.uint8]]
+LOG_TABLE: Final[npt.NDArray[np.int16]]
 EXP_TABLE, LOG_TABLE = _build_tables()
 
 
@@ -67,13 +72,17 @@ def gf_inv(a: int) -> int:
 # single fancy-index gather (MUL_TABLE[c][block]).
 _A = np.arange(256, dtype=np.int32)
 _LOG_A = LOG_TABLE[_A]
-MUL_TABLE = np.zeros((256, 256), dtype=np.uint8)
+MUL_TABLE: npt.NDArray[np.uint8] = np.zeros((256, 256), dtype=np.uint8)
 for _c in range(1, 256):
     MUL_TABLE[_c] = EXP_TABLE[(int(LOG_TABLE[_c]) + _LOG_A) % 255]
     MUL_TABLE[_c, 0] = 0
 
 
-def gf_mul_blocks(coeff: int, block: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+def gf_mul_blocks(
+    coeff: int,
+    block: npt.NDArray[np.uint8],
+    out: npt.NDArray[np.uint8] | None = None,
+) -> npt.NDArray[np.uint8]:
     """Multiply a whole uint8 payload block by a scalar coefficient."""
     if coeff == 0:
         if out is None:
@@ -87,7 +96,7 @@ def gf_mul_blocks(coeff: int, block: np.ndarray, out: np.ndarray | None = None) 
         return out
     row = MUL_TABLE[coeff]
     if out is None:
-        return row[block]
+        return cast("npt.NDArray[np.uint8]", row[block])
     np.take(row, block, out=out)
     return out
 

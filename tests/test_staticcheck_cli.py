@@ -1,0 +1,142 @@
+"""Front-end contract: `repro check` and `python -m repro.staticcheck`.
+
+Exit codes are load-bearing for CI: 0 = clean, 1 = findings,
+2 = an analyzer itself failed.
+"""
+
+import json
+import subprocess
+import sys
+
+import repro.staticcheck.runner as runner_mod
+from repro.cli import main
+from repro.obs import MetricsRegistry
+from repro.staticcheck import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_INTERNAL_ERROR,
+    Finding,
+    run_checks,
+)
+
+
+def run_cli(*argv):
+    return main(list(argv))
+
+
+def _fake_finding():
+    return Finding(
+        analyzer="lint", rule="SC-L001", location="x.py:1", message="synthetic"
+    )
+
+
+class TestExitCodes:
+    def test_clean_run_exits_zero(self, capsys):
+        assert run_cli("check", "--quick", "--analyzer", "lint",
+                       "--analyzer", "selftest") == EXIT_CLEAN
+        out = capsys.readouterr().out
+        assert "CLEAN" in out and "exit 0" in out
+
+    def test_findings_exit_one(self, capsys, monkeypatch):
+        monkeypatch.setitem(
+            runner_mod.ANALYZERS, "lint", lambda primes: (1, [_fake_finding()])
+        )
+        assert run_cli("check", "--quick", "--analyzer", "lint") == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "[SC-L001]" in out and "exit 1" in out
+
+    def test_internal_error_exit_two(self, capsys, monkeypatch):
+        def boom(primes):
+            raise RuntimeError("analyzer crashed")
+
+        monkeypatch.setitem(runner_mod.ANALYZERS, "lint", boom)
+        assert run_cli("check", "--quick", "--analyzer", "lint") == EXIT_INTERNAL_ERROR
+        out = capsys.readouterr().out
+        assert "INTERNAL ERROR" in out and "analyzer crashed" in out
+
+    def test_findings_beat_nothing_but_internal_errors_beat_findings(self, monkeypatch):
+        def boom(primes):
+            raise RuntimeError("dead analyzer")
+
+        monkeypatch.setitem(runner_mod.ANALYZERS, "selftest", boom)
+        monkeypatch.setitem(
+            runner_mod.ANALYZERS, "lint", lambda primes: (1, [_fake_finding()])
+        )
+        report = run_checks(analyzers=("lint", "selftest"), registry=MetricsRegistry())
+        assert report.findings and report.internal_errors
+        assert report.exit_code == EXIT_INTERNAL_ERROR
+
+
+class TestJsonReport:
+    def test_json_shape(self, capsys):
+        assert run_cli("check", "--quick", "--json",
+                       "--analyzer", "lint") == EXIT_CLEAN
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["clean"] is True
+        assert doc["exit_code"] == 0
+        assert doc["checks"]["lint"] > 0
+        assert doc["findings"] == []
+        assert "lint" in doc["durations_s"]
+
+    def test_json_findings_roundtrip(self, capsys, monkeypatch):
+        monkeypatch.setitem(
+            runner_mod.ANALYZERS, "lint", lambda primes: (1, [_fake_finding()])
+        )
+        assert run_cli("check", "--quick", "--json",
+                       "--analyzer", "lint") == EXIT_FINDINGS
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["findings"][0]["rule"] == "SC-L001"
+        assert doc["findings"][0]["severity"] == "error"
+
+
+class TestMetricsIntegration:
+    def test_registry_counts_checks_and_findings(self, monkeypatch):
+        monkeypatch.setitem(
+            runner_mod.ANALYZERS, "lint", lambda primes: (7, [_fake_finding()])
+        )
+        registry = MetricsRegistry()
+        report = run_checks(analyzers=("lint",), registry=registry)
+        assert report.exit_code == EXIT_FINDINGS
+        snap = registry.render_json()
+        counters = {
+            (c["name"], tuple(sorted(c["labels"].items()))): c["value"]
+            for c in json.loads(snap)["counters"]
+        }
+        assert counters[("staticcheck.checks", (("analyzer", "lint"),))] == 7
+        assert (
+            counters[
+                ("staticcheck.findings", (("analyzer", "lint"), ("rule", "SC-L001")))
+            ]
+            == 1
+        )
+
+    def test_cli_metrics_flag_prints_snapshot(self, capsys):
+        assert run_cli("check", "--quick", "--analyzer", "selftest",
+                       "--metrics") == EXIT_CLEAN
+        out = capsys.readouterr().out
+        assert "metrics snapshot" in out
+        assert "staticcheck.checks" in out
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_quick(self):
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro.staticcheck",
+                "--quick", "--analyzer", "lint", "--analyzer", "selftest",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "CLEAN" in proc.stdout
+
+    def test_unknown_analyzer_rejected(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.staticcheck", "--analyzer", "nope"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode == 2

@@ -1,0 +1,149 @@
+"""Dataflow analyzer: plan invariants, program fidelity, online windows."""
+
+import dataclasses
+
+import pytest
+
+from repro.compiled.compiler import compile_plan
+from repro.migration.approaches import build_plan, supported_conversions
+from repro.migration.plan import Location
+from repro.staticcheck.dataflow import (
+    analyze_conversion,
+    analyze_plan,
+    analyze_program,
+    check_online_lost_writes,
+)
+from repro.staticcheck.selftest import _copy_program
+
+
+class TestAllPlansClean:
+    @pytest.mark.parametrize("code_name,approach", supported_conversions())
+    def test_plan_and_program(self, code_name, approach, paper_p):
+        checks, findings = analyze_conversion(code_name, approach, paper_p)
+        assert checks > 0
+        assert findings == []
+
+
+class TestPlanInvariants:
+    def test_double_write_flagged(self):
+        plan = build_plan("rdp", "via-raid0", 5, groups=2)
+        gw = next(g for g in plan.group_works if g.parity_writes)
+        cell = next(iter(gw.parity_writes))
+        other = next(
+            g for g in plan.group_works if g.parity_writes and g is not gw
+        )
+        # alias: make another group's parity land on the same block
+        ocell = next(iter(other.parity_writes))
+        other.parity_writes[ocell] = gw.parity_writes[cell]
+        _checks, findings = analyze_plan(plan)
+        assert any(f.rule == "SC-D001" for f in findings)
+
+    def test_out_of_bounds_location_flagged(self):
+        plan = build_plan("code56", "direct", 5, groups=2)
+        (key, _loc) = next(iter(plan.cell_locations.items()))
+        plan.cell_locations[key] = Location(plan.n + 3, 0)
+        _checks, findings = analyze_plan(plan)
+        assert any(f.rule == "SC-D004" for f in findings)
+
+    def test_aliased_cells_flagged(self):
+        plan = build_plan("code56", "direct", 5, groups=2)
+        keys = list(plan.cell_locations)
+        plan.cell_locations[keys[0]] = plan.cell_locations[keys[1]]
+        _checks, findings = analyze_plan(plan)
+        assert any(f.rule == "SC-D004" for f in findings)
+
+    def test_migration_source_clobber_flagged(self):
+        plan = build_plan("rdp", "via-raid4", 5, groups=4)
+        # pick a migrating group that actually has a predecessor in its
+        # phase (group 0 never does)
+        mig_gw = next(
+            g
+            for g in plan.group_works
+            if g.migrates
+            and any(
+                o.phase == g.phase and o.group < g.group
+                for o in plan.group_works
+            )
+        )
+        cell, (src, dst, rp, wp) = next(iter(mig_gw.migrates.items()))
+        # make an earlier group NULL-write the migration source
+        earlier = next(
+            g
+            for g in plan.group_works
+            if g.phase == mig_gw.phase and g.group < mig_gw.group
+        )
+        earlier.null_writes[(0, 0)] = src
+        _checks, findings = analyze_plan(plan)
+        assert any(f.rule in ("SC-D001", "SC-D002") for f in findings)
+
+    def test_missing_parity_coverage_flagged(self):
+        plan = build_plan("code56", "direct", 5, groups=2)
+        for gw in plan.group_works:
+            if gw.parity_writes:
+                gw.parity_writes.clear()
+        _checks, findings = analyze_plan(plan)
+        assert any(f.rule == "SC-D003" for f in findings)
+
+
+class TestProgramFidelity:
+    def test_identity_program_clean(self):
+        plan = build_plan("code56", "direct", 5, groups=2)
+        program = compile_plan(plan, use_cache=False)
+        checks, findings = analyze_program(plan, program)
+        assert checks > 0
+        assert findings == []
+
+    def test_dropped_op_flagged(self):
+        plan = build_plan("code56", "direct", 5, groups=2)
+        program = _copy_program(compile_plan(plan, use_cache=False))
+        ph = program.phases[0]
+        truncated = dataclasses.replace(
+            ph,
+            parity_disk=ph.parity_disk[:-1],
+            parity_block=ph.parity_block[:-1],
+            parity_cell=ph.parity_cell[:-1],
+        )
+        program = dataclasses.replace(program, phases=(truncated,) + program.phases[1:])
+        _checks, findings = analyze_program(plan, program)
+        assert any(f.rule == "SC-D005" for f in findings)
+
+    def test_wrong_geometry_flagged(self):
+        plan = build_plan("code56", "direct", 5, groups=2)
+        program = compile_plan(plan, use_cache=False)
+        program = dataclasses.replace(program, n_disks=program.n_disks + 1)
+        _checks, findings = analyze_program(plan, program)
+        assert any(f.rule == "SC-D005" for f in findings)
+
+
+class TestOnlineLostWrites:
+    def test_exhaustive_interleavings_clean(self):
+        checks, findings = check_online_lost_writes(p=5, groups=2)
+        # capacity (2*4*3 = 24 lbas) x 8 parity boundaries
+        assert checks == 24 * 8
+        assert findings == []
+
+    def test_detects_a_lost_update(self, monkeypatch):
+        """Disable the diagonal-parity patch on writes: interleavings
+        where the write lands after conversion must produce stale
+        parities — and the checker must see them."""
+        import numpy as np
+
+        from repro.migration.online import OnlineCode56Conversion
+
+        def lazy_serve(self, req, clock, report):
+            # simulate the buggy converter: forget the diagonal patch
+            group, row, disk, stripe = self.locate(req.lba)
+            payload = np.asarray(req.payload, dtype=np.uint8)
+            old = self.array.read(disk, stripe)
+            delta = np.bitwise_xor(old, payload)
+            self.array.write(disk, stripe, payload)
+            from repro.raid.layouts import parity_disk
+
+            pd = parity_disk(self.layout, stripe, self.m)
+            hp = self.array.read(pd, stripe)
+            self.array.write(pd, stripe, np.bitwise_xor(hp, delta))
+            return clock + 4
+
+        monkeypatch.setattr(OnlineCode56Conversion, "_serve", lazy_serve)
+        _checks, findings = check_online_lost_writes(p=5, groups=2)
+        assert any(f.rule == "SC-D010" for f in findings)

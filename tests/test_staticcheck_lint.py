@@ -1,0 +1,109 @@
+"""AST lint rules: private buffers, hot-path loops, deprecated imports."""
+
+import textwrap
+
+from repro.staticcheck.lint import lint_source, run_lint
+
+
+def lint(source, rel="some/module.py"):
+    return lint_source(textwrap.dedent(source), rel)
+
+
+class TestPrivateBufferRule:
+    def test_flags_store_access(self):
+        findings = lint("x = array._store[0]")
+        assert [f.rule for f in findings] == ["SC-L001"]
+
+    def test_flags_failed_access(self):
+        findings = lint("if 3 in self.array._failed: pass")
+        assert [f.rule for f in findings] == ["SC-L001"]
+
+    def test_allows_inside_array_module(self):
+        assert lint("self._store[disk] = 0", rel="raid/array.py") == []
+
+    def test_similar_names_not_flagged(self):
+        # raid6.py's _store_stripe helper must not trip the exact-attr rule
+        assert lint("self._store_stripe(g, stripe)") == []
+
+    def test_location_has_line_number(self):
+        findings = lint("\n\nx = a._store")
+        assert findings[0].location == "some/module.py:3"
+
+
+class TestHotPathRule:
+    HOT = "compiled/executor.py"
+
+    def test_flags_per_block_loop(self):
+        findings = lint(
+            """
+            for b in range(n):
+                array.write(d, b, payload)
+            """,
+            rel=self.HOT,
+        )
+        assert [f.rule for f in findings] == ["SC-L002"]
+
+    def test_read_and_write_zero_also_flagged(self):
+        for call in ("array.read(d, b)", "array.write_zero(d, b)"):
+            findings = lint(
+                f"for b in range(n):\n    {call}\n", rel=self.HOT
+            )
+            assert [f.rule for f in findings] == ["SC-L002"], call
+
+    def test_bulk_calls_allowed(self):
+        findings = lint(
+            """
+            for ph in range(phases):
+                array.read_blocks(disks, blocks)
+            """,
+            rel=self.HOT,
+        )
+        assert findings == []
+
+    def test_non_hot_module_allowed(self):
+        findings = lint(
+            """
+            for b in range(n):
+                array.write(d, b, payload)
+            """,
+            rel="migration/engine.py",
+        )
+        assert findings == []
+
+    def test_non_range_loop_allowed(self):
+        findings = lint(
+            """
+            for cell, loc in gw.reads.items():
+                array.read(loc.disk, loc.block)
+            """,
+            rel=self.HOT,
+        )
+        assert findings == []
+
+
+class TestDeprecatedImportRule:
+    def test_flags_from_import(self):
+        findings = lint("from repro.migration.fast import fast_convert_code56")
+        assert [f.rule for f in findings] == ["SC-L003"]
+
+    def test_flags_module_import(self):
+        findings = lint("import repro.migration.fast")
+        assert [f.rule for f in findings] == ["SC-L003"]
+
+    def test_flags_from_package_import(self):
+        findings = lint("from repro.migration import fast")
+        assert [f.rule for f in findings] == ["SC-L003"]
+
+    def test_allowed_in_shim_and_package(self):
+        for rel in ("migration/__init__.py", "migration/fast.py"):
+            assert lint("from repro.migration import fast", rel=rel) == []
+
+    def test_other_migration_imports_allowed(self):
+        assert lint("from repro.migration import build_plan") == []
+
+
+class TestRepoIsClean:
+    def test_run_lint_over_src(self):
+        checks, findings = run_lint()
+        assert checks > 0
+        assert findings == []

@@ -1,0 +1,154 @@
+"""Symbolic GF(2) prover: MDS proofs and the Code 5-6/RAID-5 identity."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.codes.geometry import ChainKind, CodeLayout, ParityChain
+from repro.codes.registry import CODE_CATALOG, get_layout
+from repro.staticcheck.prover import (
+    DEFAULT_PRIMES,
+    equation_columns,
+    prove_code,
+    prove_code56_identity,
+    prove_mds,
+    run_prover,
+)
+from repro.util.gf2 import gf2_rank
+
+
+class TestEquationColumns:
+    def test_matches_dense_rank(self):
+        """The bit-packed H has the same rank as the dense uint8 H."""
+        layout = get_layout("rdp", 5)
+        columns = equation_columns(layout)
+        n_chains = len(layout.chains)
+        dense = np.zeros((n_chains, len(columns)), dtype=np.uint8)
+        from repro.util.gf2 import Gf2Basis
+
+        for j, vec in enumerate(columns.values()):
+            for i in range(n_chains):
+                dense[i, j] = (vec >> i) & 1
+        assert gf2_rank(dense) == Gf2Basis(columns.values()).rank
+
+    def test_virtual_cells_have_no_column(self):
+        layout = get_layout("code56", 7, virtual_cols=(0, 1))
+        columns = equation_columns(layout)
+        assert not (set(columns) & set(layout.virtual_cells))
+
+    def test_every_physical_cell_has_a_column(self):
+        layout = get_layout("evenodd", 5)
+        columns = equation_columns(layout)
+        expected = layout.rows * layout.n_disks - len(
+            [c for c in layout.virtual_cells if c[1] in layout.physical_cols]
+        )
+        assert len(columns) == expected
+
+
+class TestMdsProofs:
+    @pytest.mark.parametrize("name", sorted(CODE_CATALOG))
+    @pytest.mark.parametrize("p", [5, 7])
+    def test_catalog_codes_proven(self, name, p):
+        checks, findings = prove_code(name, p)
+        assert checks > 0
+        assert findings == []
+
+    def test_star_proven_at_triple_tolerance(self):
+        proof = prove_mds(get_layout("star", 5), tolerance=3)
+        assert proof.proven
+        assert proof.patterns_checked == 56  # C(8, 3)
+
+    def test_shortened_code56_still_mds(self):
+        layout = get_layout("code56", 7, virtual_cols=(0,))
+        proof = prove_mds(layout)
+        assert proof.proven
+
+    def test_raid6_codes_fail_triple_erasure(self):
+        """Sanity: a 2-tolerant code must NOT prove at tolerance 3."""
+        proof = prove_mds(get_layout("rdp", 5), tolerance=3)
+        assert not proof.proven
+        assert proof.failed_patterns
+
+    def test_broken_code_is_flagged(self):
+        """Dropping one member breaks a pair erasure (SC-P001/P002)."""
+        layout = get_layout("rdp", 5)
+        chains = list(layout.chains)
+        victim = chains[0]
+        chains[0] = ParityChain(victim.parity, victim.members[1:], victim.kind)
+        broken = CodeLayout(
+            name=layout.name,
+            p=layout.p,
+            rows=layout.rows,
+            cols=layout.cols,
+            chains=chains,
+        )
+        _checks, findings = prove_code("rdp", 5, layout=broken)
+        assert findings
+        assert all(f.rule in ("SC-P001", "SC-P002") for f in findings)
+
+    def test_non_deterministic_parity_is_flagged(self):
+        """A dependent equation drops rank(H) below the parity count."""
+        layout = get_layout("rdp", 5)
+        chains = list(layout.chains)
+        # rewrite chain 1 as row0 XOR row_donor, where the donor is a
+        # diagonal chain that carries chain 1's parity as a member: the
+        # new row lies in the span of the others, so rank(H) = 7 < 8
+        h0, target = chains[0], chains[1]
+        donor = next(ch for ch in chains if target.parity in ch.members)
+        combo = ({h0.parity, *h0.members}) ^ ({donor.parity, *donor.members})
+        chains[1] = ParityChain(
+            target.parity, tuple(sorted(combo - {target.parity})), target.kind
+        )
+        broken = CodeLayout(
+            name=layout.name,
+            p=layout.p,
+            rows=layout.rows,
+            cols=layout.cols,
+            chains=chains,
+        )
+        proof = prove_mds(broken)
+        assert not proof.deterministic
+
+
+class TestCode56Identity:
+    @pytest.mark.parametrize("orientation", ["left", "right"])
+    def test_full_width(self, paper_p, orientation):
+        checks, findings = prove_code56_identity(paper_p, orientation)
+        assert checks > 0
+        assert findings == []
+
+    @pytest.mark.parametrize("m", [3, 4, 5])
+    def test_shortened_widths(self, m):
+        checks, findings = prove_code56_identity(7, "left", n_disks=m + 1)
+        assert findings == []
+
+    def test_wrong_source_layout_breaks_identity(self, monkeypatch):
+        """The proof is not vacuous: against the wrong RAID-5 rotation
+        the horizontal parities do NOT line up."""
+        import repro.staticcheck.prover as prover_mod
+        from repro.raid.layouts import Raid5Layout
+        from repro.raid.layouts import parity_disk as real_parity_disk
+
+        def flipped(layout, stripe, n):
+            flip = {
+                Raid5Layout.LEFT_ASYMMETRIC: Raid5Layout.RIGHT_ASYMMETRIC,
+                Raid5Layout.RIGHT_ASYMMETRIC: Raid5Layout.LEFT_ASYMMETRIC,
+            }[layout]
+            return real_parity_disk(flip, stripe, n)
+
+        monkeypatch.setattr(prover_mod, "parity_disk", flipped)
+        _checks, findings = prove_code56_identity(5, "left")
+        assert any(f.rule == "SC-P010" for f in findings)
+
+
+class TestFullSweep:
+    def test_acceptance_budget(self):
+        """MDS for every code, every prime 5..31, plus the identity —
+        zero findings, and well under the 60 s CI budget."""
+        start = time.perf_counter()
+        checks, findings = run_prover(primes=DEFAULT_PRIMES)
+        elapsed = time.perf_counter() - start
+        assert findings == []
+        assert checks > 100_000
+        assert elapsed < 60.0

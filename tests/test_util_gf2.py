@@ -3,7 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.util.gf2 import gf2_elimination, gf2_inverse, gf2_rank, gf2_solve
+from repro.util.gf2 import (
+    Gf2Basis,
+    gf2_elimination,
+    gf2_inverse,
+    gf2_rank,
+    gf2_rank_ints,
+    gf2_solve,
+)
 
 
 def _random_invertible(rng, n):
@@ -97,3 +104,51 @@ class TestInverse:
     def test_non_square_raises(self):
         with pytest.raises(ValueError):
             gf2_inverse(np.zeros((2, 3), dtype=np.uint8))
+
+
+def _pack_rows(a):
+    """Rows of a dense 0/1 matrix as bit-packed ints (bit j = column j)."""
+    return [int(sum(int(v) << j for j, v in enumerate(row))) for row in a]
+
+
+class TestGf2Basis:
+    def test_rank_matches_dense_on_random_matrices(self, rng):
+        for shape in ((4, 4), (6, 10), (10, 6), (1, 8), (8, 1)):
+            a = rng.integers(0, 2, size=shape, dtype=np.uint8)
+            assert gf2_rank_ints(_pack_rows(a)) == gf2_rank(a), shape
+
+    def test_add_reports_independence(self):
+        basis = Gf2Basis()
+        assert basis.add(0b101)
+        assert basis.add(0b011)
+        assert not basis.add(0b110)  # XOR of the first two
+        assert basis.rank == 2
+
+    def test_zero_vector_never_added(self):
+        basis = Gf2Basis([0b1])
+        assert not basis.add(0)
+        assert basis.rank == 1
+
+    def test_reduce_returns_residual(self):
+        basis = Gf2Basis([0b100, 0b010])
+        assert basis.reduce(0b111) == 0b001
+        assert basis.reduce(0b110) == 0
+
+    def test_contains_is_span_membership(self):
+        basis = Gf2Basis([0b101, 0b011])
+        assert 0b110 in basis
+        assert 0 in basis
+        assert 0b100 not in basis
+
+    def test_incremental_matches_bulk_construction(self, rng):
+        vectors = [int(v) for v in rng.integers(0, 1 << 12, size=20)]
+        bulk = Gf2Basis(vectors)
+        inc = Gf2Basis()
+        for v in vectors:
+            inc.add(v)
+        assert bulk.rank == inc.rank
+        for v in vectors:
+            assert (v in bulk) == (v in inc)
+
+    def test_duplicate_vectors_do_not_inflate_rank(self):
+        assert gf2_rank_ints([0b11, 0b11, 0b11]) == 1
