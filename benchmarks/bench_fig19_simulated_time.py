@@ -16,30 +16,37 @@ reported:
 
 Either way the paper's shape holds: the direct Code 5-6 conversion is
 the (co-)fastest and the vertical in-place conversions are the slowest.
+
+The grid itself is one :class:`repro.sweep.SweepSpec` per panel — the
+sweep runner owns plan building, trace tiling and simulation, so this
+module only declares the panel and renders the rows.
 """
 
-from conftest import paper_configurations
-
-from repro.simdisk import get_preset, simulate_closed
-from repro.workloads import conversion_trace
+from repro.sweep import SweepSpec, Workload, run_sweep
 
 #: the paper's 0.6 million data blocks
 TOTAL_BLOCKS = 600_000
-MODEL = get_preset("sata-7200")
 NCQ = 64
 
 
 def _simulate(p: int, block_size: int, reorder_window: int | None):
-    rows = []
-    for m, plan in paper_configurations(p):
-        trace = conversion_trace(
-            plan,
-            total_data_blocks=TOTAL_BLOCKS,
-            block_size=block_size,
-            lb_rotation_period=16,
-        )
-        res = simulate_closed(trace, MODEL, reorder_window=reorder_window)
-        rows.append((f"{m.approach}({m.code})", res.makespan_s))
+    spec = SweepSpec(
+        primes=(p,),
+        workloads=(
+            Workload.sim(
+                total_blocks=TOTAL_BLOCKS,
+                block_size=block_size,
+                lb=16,
+                reorder_window=reorder_window,
+            ),
+        ),
+    )
+    result = run_sweep(spec, workers=0)
+    rows = [
+        (r["label"], r["result"]["makespan_s"])
+        for r in result.results
+        if "result" in r
+    ]
     return sorted(rows, key=lambda r: r[1])
 
 

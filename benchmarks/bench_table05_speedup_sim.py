@@ -6,33 +6,38 @@ traces tiled to the paper's 0.6M blocks, 4KB block size, load balancing.
 The paper reports larger speedups here than in the analysis (seek and
 rotation penalise the scattered I/O of the other conversions), growing
 from p=5 to p=7.
+
+Both primes ride one :class:`repro.sweep.SweepSpec` — the sweep runner
+builds every plan and trace; this module only folds makespans to each
+code's best approach.
 """
 
-from conftest import paper_configurations
+from repro.sweep import SweepSpec, Workload, run_sweep
 
-from repro.simdisk import get_preset, simulate_closed
-from repro.workloads import conversion_trace
-
-MODEL = get_preset("sata-7200")
 TOTAL_BLOCKS = 600_000
 
 
-def _speedups(p: int):
-    times: dict[str, float] = {}
-    for m, plan in paper_configurations(p):
-        trace = conversion_trace(
-            plan, total_data_blocks=TOTAL_BLOCKS, block_size=4096, lb_rotation_period=16
-        )
-        t = simulate_closed(trace, MODEL).makespan_s
-        times[m.code] = min(times.get(m.code, float("inf")), t)
-    base = times.pop("code56")
-    return {code: t / base for code, t in times.items()}
+def _speedup_table(primes=(5, 7)):
+    spec = SweepSpec(
+        primes=tuple(primes),
+        workloads=(Workload.sim(total_blocks=TOTAL_BLOCKS, block_size=4096, lb=16),),
+    )
+    result = run_sweep(spec, workers=0)
+    out: dict[int, dict[str, float]] = {}
+    for p in primes:
+        times: dict[str, float] = {}
+        for r in result.results:
+            if r["p"] != p or "result" not in r:
+                continue
+            t = r["result"]["makespan_s"]
+            times[r["code"]] = min(times.get(r["code"], float("inf")), t)
+        base = times.pop("code56")
+        out[p] = {code: t / base for code, t in times.items()}
+    return out
 
 
 def bench_table05_speedup_sim(benchmark, show):
-    result = benchmark.pedantic(
-        lambda: {p: _speedups(p) for p in (5, 7)}, rounds=1, iterations=1
-    )
+    result = benchmark.pedantic(_speedup_table, rounds=1, iterations=1)
     codes = sorted({c for v in result.values() for c in v})
     lines = [
         "Table V - simulated speedup of Code 5-6 (best approach per code, LB, 4KB)",

@@ -332,6 +332,126 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Parallel evaluation grid; writes BENCH_sweep.json (serial vs pool).
+
+    Runs the requested grid three times — serial baseline, cold parallel,
+    warm parallel (same program-cache directory) — asserts the merged
+    payloads are byte-identical, and reports wall-clock plus compiler
+    cache counters.  Exit 1 on any digest mismatch.
+    """
+    import json
+    import os
+    import tempfile
+    from pathlib import Path
+
+    from repro import obs
+    from repro.sweep import SweepSpec, Workload, run_sweep
+
+    kinds = {
+        "analysis": Workload.analysis,
+        "sim": lambda: Workload.sim(
+            total_blocks=args.blocks, block_size=args.block_size, lb=args.lb
+        ),
+        "execute": lambda: Workload.execute(block_size=args.exec_block_size),
+        "appsim-uniform": lambda: Workload.appsim("uniform", n_requests=args.appsim_requests),
+        "appsim-zipf": lambda: Workload.appsim("zipf", n_requests=args.appsim_requests),
+        "appsim-sequential": lambda: Workload.appsim(
+            "sequential", n_requests=args.appsim_requests
+        ),
+    }
+    try:
+        workloads = tuple(kinds[name]() for name in args.workloads)
+    except KeyError as exc:
+        print(f"sweep: unknown workload {exc}; known: {sorted(kinds)}", file=sys.stderr)
+        return 2
+    spec = SweepSpec(primes=tuple(args.primes), workloads=workloads, seed=args.seed)
+    n_tasks = len(spec.tasks())
+    workers = args.workers if args.workers is not None else (os.cpu_count() or 1)
+    print(f"sweep: {n_tasks} tasks "
+          f"({len(spec.resolved_pairs())} series x {len(args.primes)} primes x "
+          f"{len(workloads)} workloads), workers={workers}")
+
+    serial = run_sweep(spec, workers=0)
+    print(f"  serial   : {serial.wall_s:8.2f}s  digest {serial.digest()[:16]}  "
+          f"compiled {serial.cache['parent']['compiled']}")
+
+    bench = {
+        "bench": "sweep",
+        "host_cpus": os.cpu_count(),
+        "workers": workers,
+        "n_tasks": n_tasks,
+        "spec": spec.to_dict(),
+        "serial": {"wall_s": serial.wall_s, "digest": serial.digest(),
+                   "cache": serial.cache},
+    }
+    result = serial
+    identical = True
+    if workers > 0:
+        tmp = None
+        if args.cache_dir is not None:
+            cache_dir = Path(args.cache_dir)
+            cache_dir.mkdir(parents=True, exist_ok=True)
+        else:
+            tmp = tempfile.TemporaryDirectory(prefix="repro-sweep-cache-")
+            cache_dir = Path(tmp.name)
+        try:
+            cold = run_sweep(spec, workers=workers, chunksize=args.chunksize,
+                             cache_dir=cache_dir)
+            print(f"  parallel : {cold.wall_s:8.2f}s  digest {cold.digest()[:16]}  "
+                  f"compiled {cold.cache['compiled_total']}  "
+                  f"(retried {cold.retried_chunks} chunks, "
+                  f"{cold.fallback_tasks} tasks inline)")
+            warm = run_sweep(spec, workers=workers, chunksize=args.chunksize,
+                             cache_dir=cache_dir)
+            print(f"  warm     : {warm.wall_s:8.2f}s  digest {warm.digest()[:16]}  "
+                  f"compiled {warm.cache['compiled_total']}")
+        finally:
+            if tmp is not None:
+                tmp.cleanup()
+        identical = serial.digest() == cold.digest() == warm.digest()
+        bench["parallel"] = {
+            "wall_s": cold.wall_s, "digest": cold.digest(), "cache": cold.cache,
+            "retried_chunks": cold.retried_chunks,
+            "fallback_tasks": cold.fallback_tasks,
+        }
+        bench["warm"] = {
+            "wall_s": warm.wall_s, "digest": warm.digest(),
+            "compiled_total": warm.cache["compiled_total"], "cache": warm.cache,
+        }
+        bench["speedup"] = serial.wall_s / cold.wall_s if cold.wall_s else None
+        result = cold
+    bench["identical"] = identical
+
+    out = Path(args.out)
+    out.write_text(json.dumps(bench, indent=2, sort_keys=True) + "\n")
+    print(f"  wrote {out}"
+          + (f"  (speedup {bench['speedup']:.2f}x at {workers} workers, "
+             f"{bench['host_cpus']} host cpus)" if "speedup" in bench else ""))
+
+    if args.trace is not None:
+        doc = obs.write_chrome_trace(
+            args.trace, spans=result.spans, metrics=result.registry.snapshot(),
+            meta={"command": "sweep", "workers": result.workers,
+                  "n_tasks": n_tasks},
+        )
+        print(f"  trace: {args.trace} ({len(doc['traceEvents'])} events; "
+              f"open in https://ui.perfetto.dev)")
+    if args.metrics is not None:
+        if args.metrics != "-":
+            Path(args.metrics).write_text(result.registry.render_json() + "\n")
+            print(f"  metrics: {args.metrics}")
+        else:
+            print("-- merged metrics snapshot --")
+            print(result.registry.render_text())
+
+    if not identical:
+        print("sweep: parallel payload differs from serial baseline",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_efficiency(args: argparse.Namespace) -> int:
     from repro.analysis import efficiency_sweep
 
@@ -427,6 +547,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_scrub.add_argument("--corruptions", type=int, default=2)
     p_scrub.add_argument("--seed", type=int, default=0)
     p_scrub.set_defaults(func=_cmd_scrub_demo)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="parallel evaluation grid (serial vs process pool)"
+    )
+    p_sweep.add_argument("--workers", type=int, default=None,
+                         help="pool size (default: host cpu count; 0 = serial only)")
+    p_sweep.add_argument("--primes", type=int, nargs="+", default=[5, 7, 11, 13])
+    p_sweep.add_argument(
+        "--workloads", nargs="+", default=["analysis", "sim"],
+        help="grid workloads: analysis sim execute "
+             "appsim-{uniform,zipf,sequential}",
+    )
+    p_sweep.add_argument("--blocks", type=int, default=600_000,
+                         help="sim workload: total data blocks (Fig 19 uses 0.6M)")
+    p_sweep.add_argument("--block-size", type=int, default=4096,
+                         help="sim workload: migration I/O size in bytes")
+    p_sweep.add_argument("--lb", type=int, default=16,
+                         help="sim workload: LB rotation period (0 = dedicated)")
+    p_sweep.add_argument("--exec-block-size", type=int, default=8,
+                         help="execute workload: bytes per block")
+    p_sweep.add_argument("--appsim-requests", type=int, default=20_000)
+    p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.add_argument("--chunksize", type=int, default=None,
+                         help="tasks per worker dispatch (default: auto)")
+    p_sweep.add_argument("--cache-dir", default=None, metavar="PATH",
+                         help="persistent compiled-program cache directory "
+                              "(default: fresh temp dir per invocation)")
+    p_sweep.add_argument("--out", default="BENCH_sweep.json", metavar="PATH")
+    p_sweep.add_argument("--trace", default=None, metavar="PATH",
+                         help="write the merged Perfetto timeline "
+                              "(per-worker span tracks)")
+    p_sweep.add_argument("--metrics", nargs="?", const="-", default=None,
+                         metavar="PATH",
+                         help="dump the merged metrics snapshot")
+    p_sweep.set_defaults(func=_cmd_sweep)
 
     p_eff = sub.add_parser("efficiency", help="Eq. 6 storage-efficiency sweep")
     p_eff.add_argument("--max-m", type=int, default=20)

@@ -11,11 +11,15 @@ engine at a fraction of the wall time.  ``assemble_all_groups`` /
 """
 
 from repro.compiled.compiler import (
+    PROGRAM_CACHE_VERSION,
     UnsupportedPlanError,
     clear_program_cache,
     compile_plan,
     plan_cache_key,
+    program_cache_dir,
+    program_cache_file,
     program_cache_info,
+    set_program_cache_dir,
 )
 from repro.compiled.executor import execute_compiled, execute_plan_compiled
 from repro.compiled.program import CompiledPlan, PhaseProgram
@@ -23,6 +27,7 @@ from repro.compiled.recovery import assemble_all_groups, batch_recover_columns
 
 __all__ = [
     "CompiledPlan",
+    "PROGRAM_CACHE_VERSION",
     "PhaseProgram",
     "UnsupportedPlanError",
     "assemble_all_groups",
@@ -32,5 +37,8 @@ __all__ = [
     "execute_compiled",
     "execute_plan_compiled",
     "plan_cache_key",
+    "program_cache_dir",
+    "program_cache_file",
     "program_cache_info",
+    "set_program_cache_dir",
 ]

@@ -52,18 +52,29 @@ def prepare_source_array(
     plan: ConversionPlan,
     rng: np.random.Generator,
     block_size: int = 8,
+    data: np.ndarray | None = None,
 ) -> tuple[BlockArray, np.ndarray]:
     """Build the pre-conversion world: a formatted RAID-5 plus blank disks.
 
     The array is sized for the converted layout (reserved capacity and
     hot-added disks included); the RAID-5 occupies the source region.
+    ``data`` supplies the logical payload explicitly (``(data_blocks,
+    block_size)`` uint8 — e.g. a slice of a shared-memory pool in
+    :mod:`repro.sweep`); by default it is drawn from ``rng``.
     """
     array = BlockArray(plan.n, plan.blocks_per_disk, block_size)
     source = Raid5Array(array, plan.source_layout, n_disks=plan.m)
     stripes = plan.data_blocks // (plan.m - 1)
-    data = rng.integers(
-        0, 256, size=(plan.data_blocks, block_size), dtype=np.uint8
-    )
+    if data is None:
+        data = rng.integers(
+            0, 256, size=(plan.data_blocks, block_size), dtype=np.uint8
+        )
+    else:
+        data = np.asarray(data, dtype=np.uint8)
+        if data.shape != (plan.data_blocks, block_size):
+            raise ValueError(
+                f"data must be ({plan.data_blocks}, {block_size}), got {data.shape}"
+            )
     # format only the source region: format_with targets the whole disk, so
     # place blocks manually through the layout mapping.
     from repro.raid.layouts import locate_block, parity_disk

@@ -42,6 +42,7 @@ from repro.obs.record import (
     record_sim_result,
     record_staticcheck,
 )
+from repro.obs.merge import merge_snapshot, spans_from_dicts
 from repro.obs.stats import render_summary, summarise_trace
 from repro.obs.timeline import (
     build_chrome_trace,
@@ -81,6 +82,9 @@ __all__ = [
     "record_conversion",
     "record_sim_result",
     "record_staticcheck",
+    # cross-process merging
+    "merge_snapshot",
+    "spans_from_dicts",
     # stats
     "summarise_trace",
     "render_summary",

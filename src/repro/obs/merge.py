@@ -1,0 +1,60 @@
+"""Cross-process aggregation of observability state.
+
+Sweep pool workers each run a private :class:`MetricsRegistry` and
+:class:`Tracer`; what crosses the process boundary is their JSON-safe
+snapshot (``registry.snapshot()`` / ``[span.to_dict()]``), and the parent
+folds every worker's snapshot into one registry and one span list so a
+parallel run produces a single coherent metrics dump and one Perfetto
+timeline — exactly like a serial run, plus per-worker tracks.
+
+Merge semantics per instrument kind:
+
+* **counters** add (total I/Os across workers are the sum);
+* **gauges** take the last merged value (they describe configuration —
+  ``conversion.p`` and friends — identical across workers by design);
+* **histograms** fold bucket-by-bucket (:meth:`Histogram.merge_dict`),
+  so merged percentiles rank over the union of observations.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.tracer import SpanRecord
+
+__all__ = ["merge_snapshot", "spans_from_dicts"]
+
+
+def merge_snapshot(snapshot: dict, registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Fold one ``registry.snapshot()`` dict into ``registry`` (default global)."""
+    registry = registry if registry is not None else get_registry()
+    for c in snapshot.get("counters", ()):
+        registry.counter(c["name"], **c["labels"]).inc(c["value"])
+    for g in snapshot.get("gauges", ()):
+        registry.gauge(g["name"], **g["labels"]).set(g["value"])
+    for h in snapshot.get("histograms", ()):
+        bounds = tuple(float(b) for b in h["buckets"] if b != "+Inf")
+        registry.histogram(h["name"], buckets=bounds, **h["labels"]).merge_dict(h)
+    return registry
+
+
+def spans_from_dicts(dicts, track_prefix: str = "") -> list[SpanRecord]:
+    """Rehydrate ``span.to_dict()`` payloads, optionally namespacing tracks.
+
+    ``track_prefix`` keeps each worker's spans on its own Perfetto track
+    (e.g. ``worker-3/compiled``) so overlapping wall-clock intervals from
+    different processes do not interleave on one row.
+    """
+    spans = []
+    for d in dicts:
+        track = f"{track_prefix}{d['track']}" if track_prefix else d["track"]
+        spans.append(
+            SpanRecord(
+                name=d["name"],
+                cat=d["cat"],
+                track=track,
+                start_s=d["start_s"],
+                dur_s=d["dur_s"],
+                args=dict(d.get("args", {})),
+            )
+        )
+    return spans

@@ -193,6 +193,27 @@ class Histogram:
         self._min = math.inf
         self._max = -math.inf
 
+    def merge_dict(self, snapshot: dict) -> None:
+        """Fold another histogram's :meth:`to_dict` into this one.
+
+        The cross-process aggregation primitive (sweep workers snapshot
+        their registries; the parent folds them in).  Bucket bounds must
+        match exactly — merged percentiles are only meaningful over the
+        same grid.
+        """
+        buckets = snapshot["buckets"]
+        bounds = tuple(float(b) for b in buckets if b != "+Inf")
+        if bounds != self.bounds:
+            raise ValueError(f"bucket bounds {bounds} do not match {self.bounds}")
+        for i, b in enumerate(self.bounds):
+            self.counts[i] += int(buckets[str(b)])
+        self.counts[-1] += int(buckets["+Inf"])
+        self.count += int(snapshot["count"])
+        self.sum += float(snapshot["sum"])
+        if snapshot["count"]:
+            self._min = min(self._min, float(snapshot["min"]))
+            self._max = max(self._max, float(snapshot["max"]))
+
     def to_dict(self) -> dict:
         return {
             "name": self.name,

@@ -83,10 +83,12 @@ def record_compiler_cache(registry: MetricsRegistry | None = None) -> None:
     registry = registry if registry is not None else get_registry()
     info = program_cache_info()
     registry.gauge("compiler.cache.entries").set(info["entries"])
-    for key in ("hits", "misses"):
+    for key, value in info.items():
+        if key == "entries":
+            continue
         c = registry.counter(f"compiler.cache.{key}")
         c.reset()
-        c.inc(info[key])
+        c.inc(value)
 
 
 def record_staticcheck(report, registry: MetricsRegistry | None = None) -> None:

@@ -19,6 +19,14 @@ Two I/O granularities share the same counting discipline:
 Bulk engines that perform their arithmetic in place (batched XOR over
 region views) use :meth:`bulk_view` + :meth:`credit_ios` instead of
 reaching into the private store.
+
+The store itself is pluggable: pass ``buffer=`` (any writable
+C-contiguous uint8 ndarray of the right shape) to adopt external backing
+zero-copy — this is how :mod:`repro.sweep.shm` places arrays in
+``multiprocessing.shared_memory`` so pool workers read the same bytes
+without pickling.  Externally backed arrays cannot be resized
+(:meth:`add_disk` / :meth:`remove_disk` would silently detach from the
+shared segment), and the provider owns the buffer's lifetime.
 """
 
 from __future__ import annotations
@@ -41,14 +49,40 @@ class BlockArray:
     (not counted — it models an out-of-band check, not array traffic).
     """
 
-    def __init__(self, n_disks: int, blocks_per_disk: int, block_size: int = 16):
+    def __init__(
+        self,
+        n_disks: int,
+        blocks_per_disk: int,
+        block_size: int = 16,
+        buffer: np.ndarray | None = None,
+    ):
         if n_disks < 1 or blocks_per_disk < 1 or block_size < 1:
             raise ValueError("array dimensions must be positive")
         self.block_size = block_size
-        self._store = np.zeros((n_disks, blocks_per_disk, block_size), dtype=np.uint8)
+        if buffer is None:
+            self._store = np.zeros((n_disks, blocks_per_disk, block_size), dtype=np.uint8)
+            self._owns_store = True
+        else:
+            shape = (n_disks, blocks_per_disk, block_size)
+            if buffer.dtype != np.uint8:
+                raise ValueError(f"buffer must be uint8, got {buffer.dtype}")
+            if buffer.shape != shape:
+                raise ValueError(f"buffer shape {buffer.shape} does not match {shape}")
+            if not buffer.flags.c_contiguous or not buffer.flags.writeable:
+                raise ValueError("buffer must be C-contiguous and writable")
+            self._store = buffer  # adopted zero-copy; provider owns lifetime
+            self._owns_store = False
         self._failed: set[int] = set()
         self.reads = np.zeros(n_disks, dtype=np.int64)
         self.writes = np.zeros(n_disks, dtype=np.int64)
+
+    @classmethod
+    def over(cls, buffer: np.ndarray) -> "BlockArray":
+        """Adopt a ``(n_disks, blocks_per_disk, block_size)`` uint8 buffer."""
+        if buffer.ndim != 3:
+            raise ValueError(f"buffer must be 3-D, got shape {buffer.shape}")
+        n, bpd, bs = buffer.shape
+        return cls(n, bpd, bs, buffer=buffer)
 
     # ------------------------------------------------------------ properties
     @property
@@ -62,6 +96,11 @@ class BlockArray:
     @property
     def failed_disks(self) -> frozenset[int]:
         return frozenset(self._failed)
+
+    @property
+    def external_buffer(self) -> bool:
+        """True when the store was adopted via ``buffer=`` / :meth:`over`."""
+        return not self._owns_store
 
     @property
     def total_reads(self) -> int:
@@ -240,6 +279,8 @@ class BlockArray:
 
     def add_disk(self) -> int:
         """Hot-add a blank disk; returns its index (RAID level migration)."""
+        if not self._owns_store:
+            raise ValueError("externally backed array cannot be resized")
         blank = np.zeros((1,) + self._store.shape[1:], dtype=np.uint8)
         self._store = np.concatenate([self._store, blank], axis=0)
         self.reads = np.append(self.reads, 0)
@@ -248,6 +289,8 @@ class BlockArray:
 
     def remove_disk(self) -> None:
         """Drop the last disk (RAID-6 -> RAID-5 downgrade)."""
+        if not self._owns_store:
+            raise ValueError("externally backed array cannot be resized")
         if self.n_disks == 1:
             raise ValueError("cannot remove the last disk")
         last = self.n_disks - 1

@@ -14,6 +14,11 @@ invariant earlier PRs fought for:
 * **SC-L003** — no *new* imports of the deprecated
   ``repro.migration.fast`` shim outside its own package exports and the
   code that still intentionally references it.
+* **SC-L004** — ``multiprocessing`` (and ``concurrent.futures``) is
+  imported only inside ``repro.sweep``.  Process management, shared
+  memory and the resource-tracker workarounds live behind one audited
+  boundary; a stray ``import multiprocessing`` elsewhere bypasses the
+  sweep runner's determinism and cleanup guarantees.
 
 The rules operate purely on the AST — no imports of the linted modules
 — so a syntax-level violation is caught even in code that is never
@@ -52,8 +57,13 @@ _DEPRECATED_ALLOWED = frozenset(
     {"migration/__init__.py", "migration/fast.py"}
 )
 
+#: process-management modules confined to the sweep package
+_MP_MODULES = frozenset({"multiprocessing", "concurrent.futures"})
+#: the one package allowed to spawn processes / map shared memory
+_MP_ALLOWED_PREFIX = "sweep/"
+
 #: rules evaluated per file (the per-file check count)
-RULES = ("SC-L001", "SC-L002", "SC-L003")
+RULES = ("SC-L001", "SC-L002", "SC-L003", "SC-L004")
 
 
 class _Linter(ast.NodeVisitor):
@@ -115,7 +125,21 @@ class _Linter(ast.NodeVisitor):
                 return f".{child.func.attr}()"
         return None
 
-    # ------------------------------------------------------------ SC-L003
+    # ------------------------------------------------- SC-L003 / SC-L004
+    def _check_mp(self, node: ast.AST, module: str) -> None:
+        top = module.split(".", 1)[0]
+        if (
+            (module in _MP_MODULES or top == "multiprocessing")
+            and not self.rel.startswith(_MP_ALLOWED_PREFIX)
+        ):
+            self._flag(
+                "SC-L004",
+                node,
+                f"import of `{module}` outside repro.sweep — process pools "
+                "and shared memory go through the sweep runner "
+                "(repro.sweep.run_sweep / repro.sweep.shm)",
+            )
+
     def visit_Import(self, node: ast.Import) -> None:
         for alias in node.names:
             if alias.name == _DEPRECATED_MODULE and self.rel not in _DEPRECATED_ALLOWED:
@@ -125,11 +149,12 @@ class _Linter(ast.NodeVisitor):
                     "import of deprecated repro.migration.fast — "
                     "use BlockArray.bulk_view/credit_ios or the compiled engine",
                 )
+            self._check_mp(node, alias.name)
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
         if self.rel not in _DEPRECATED_ALLOWED:
-            module = node.module or ""
             if module == _DEPRECATED_MODULE or (
                 module == "repro.migration"
                 and any(alias.name == "fast" for alias in node.names)
@@ -140,6 +165,12 @@ class _Linter(ast.NodeVisitor):
                     "import of deprecated repro.migration.fast — "
                     "use BlockArray.bulk_view/credit_ios or the compiled engine",
                 )
+        self._check_mp(node, module)
+        if module == "concurrent" and not self.rel.startswith(_MP_ALLOWED_PREFIX):
+            # `from concurrent import futures` names the pool machinery too
+            for alias in node.names:
+                if alias.name == "futures":
+                    self._check_mp(node, "concurrent.futures")
         self.generic_visit(node)
 
 

@@ -1,0 +1,49 @@
+"""repro.sweep — the parallel evaluation-grid engine.
+
+Declares the paper's evaluation space as a :class:`SweepSpec` (primes ×
+(code, approach) pairs × workloads), lowers it to deterministic seeded
+:class:`SweepTask` cells, and executes them either inline or across a
+process pool (:func:`run_sweep`) with byte-identical merged output.
+
+Supporting pieces:
+
+* :mod:`repro.sweep.spec`   — the task model (pure, order-stable);
+* :mod:`repro.sweep.runner` — chunked process-pool execution with
+  timeout/retry, serial fallback, and cross-process metric/span merging;
+* :mod:`repro.sweep.shm`    — shared-memory ndarray + BlockArray
+  backing (the only module allowed to import ``multiprocessing``).
+"""
+
+from repro.sweep.runner import (
+    POOL_BLOCKS,
+    SweepError,
+    SweepResult,
+    data_pool,
+    run_sweep,
+    run_task,
+)
+from repro.sweep.shm import (
+    SharedNDArray,
+    ShmHandle,
+    attach_block_array,
+    shared_block_array,
+)
+from repro.sweep.spec import SweepSpec, SweepTask, Workload, derive_seed, paper_grid_pairs
+
+__all__ = [
+    "SweepSpec",
+    "SweepTask",
+    "Workload",
+    "derive_seed",
+    "paper_grid_pairs",
+    "run_sweep",
+    "run_task",
+    "data_pool",
+    "SweepResult",
+    "SweepError",
+    "POOL_BLOCKS",
+    "SharedNDArray",
+    "ShmHandle",
+    "shared_block_array",
+    "attach_block_array",
+]

@@ -1,0 +1,225 @@
+"""Sweep task model: a declarative grid lowered to deterministic tasks.
+
+A :class:`SweepSpec` names the axes of the paper's evaluation space —
+(code, approach) pairs, primes, and :class:`Workload` kinds — and expands
+them into an ordered list of :class:`SweepTask` cells.  Expansion is pure
+and total: the same spec always yields the same tasks in the same order,
+each carrying a seed derived by hashing the spec's root seed with the
+task's identity, so any task can be executed in any process (or re-run
+in isolation) and produce bit-identical output.
+
+Workload kinds (each maps to one family of the paper's figures/tables):
+
+* ``analysis`` — the closed-form metric vector of Figs 10-17 / Tables
+  III-IV (:func:`repro.analysis.metrics_from_plan`);
+* ``sim``      — trace-driven conversion makespan of Fig 19 / Table V
+  (:func:`repro.simdisk.simulate_closed` over a tiled migration trace);
+* ``execute``  — an actual compiled conversion plus full verification
+  (byte digest of the converted array, measured per-disk I/O counters);
+* ``appsim``   — a seeded synthetic application workload (uniform /
+  zipf / sequential) replayed through the disk model at the code's
+  width, exercising the explicit-seed generator contract.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["Workload", "SweepTask", "SweepSpec", "derive_seed", "paper_grid_pairs"]
+
+
+def paper_grid_pairs() -> tuple[tuple[str, str], ...]:
+    """The 11 (code, approach) series of the paper's comparison space."""
+    from repro.migration import supported_conversions
+
+    return tuple(
+        (code, approach)
+        for code, approach in supported_conversions()
+        if code != "code56-right"  # mirror of code56: identical costs
+    )
+
+
+def derive_seed(root: int, *identity) -> int:
+    """A stable 63-bit seed from the root seed plus a task identity."""
+    payload = json.dumps([root, *identity], sort_keys=True).encode()
+    return int.from_bytes(hashlib.sha256(payload).digest()[:8], "big") >> 1
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One workload axis value: a kind plus its (hashable) parameters."""
+
+    kind: str
+    params: tuple[tuple[str, object], ...] = ()
+
+    _KINDS = ("analysis", "sim", "execute", "appsim")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ValueError(f"unknown workload kind {self.kind!r}; known: {self._KINDS}")
+        object.__setattr__(self, "params", tuple(sorted(self.params)))
+
+    # ------------------------------------------------------------ builders
+    @classmethod
+    def analysis(cls) -> "Workload":
+        return cls("analysis")
+
+    @classmethod
+    def sim(
+        cls,
+        total_blocks: int = 600_000,
+        block_size: int = 4096,
+        lb: int | None = 16,
+        reorder_window: int | None = None,
+        disk: str = "sata-7200",
+    ) -> "Workload":
+        return cls(
+            "sim",
+            (
+                ("total_blocks", total_blocks),
+                ("block_size", block_size),
+                ("lb", lb),
+                ("reorder_window", reorder_window),
+                ("disk", disk),
+            ),
+        )
+
+    @classmethod
+    def execute(cls, block_size: int = 8) -> "Workload":
+        return cls("execute", (("block_size", block_size),))
+
+    @classmethod
+    def appsim(
+        cls,
+        pattern: str = "uniform",
+        n_requests: int = 20_000,
+        blocks_per_disk: int = 100_000,
+        disk: str = "sata-7200",
+        **extra,
+    ) -> "Workload":
+        if pattern not in ("uniform", "zipf", "sequential"):
+            raise ValueError(f"unknown appsim pattern {pattern!r}")
+        return cls(
+            "appsim",
+            (
+                ("pattern", pattern),
+                ("n_requests", n_requests),
+                ("blocks_per_disk", blocks_per_disk),
+                ("disk", disk),
+                *sorted(extra.items()),
+            ),
+        )
+
+    # ------------------------------------------------------------- queries
+    @property
+    def options(self) -> dict:
+        return dict(self.params)
+
+    @property
+    def name(self) -> str:
+        """Compact stable label, e.g. ``sim-4k-lb16`` or ``appsim-zipf``."""
+        if self.kind == "sim":
+            o = self.options
+            bits = [f"sim-{o['block_size'] // 1024}k"]
+            if o.get("lb"):
+                bits.append(f"lb{o['lb']}")
+            if o.get("reorder_window"):
+                bits.append(f"ncq{o['reorder_window']}")
+            return "-".join(bits)
+        if self.kind == "appsim":
+            return f"appsim-{self.options['pattern']}"
+        return self.kind
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "params": [list(kv) for kv in self.params]}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Workload":
+        return cls(d["kind"], tuple((k, v) for k, v in d["params"]))
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One grid cell: (code, approach, p, workload) plus its derived seed."""
+
+    index: int
+    code: str
+    approach: str
+    p: int
+    workload: Workload
+    seed: int
+
+    @property
+    def label(self) -> str:
+        """The paper's series label, e.g. ``direct(code56)``."""
+        return f"{self.approach}({self.code})"
+
+    @property
+    def task_id(self) -> str:
+        return f"{self.code}/{self.approach}/p{self.p}/{self.workload.name}"
+
+    def to_dict(self) -> dict:
+        """Pickle-free wire form (what crosses the process boundary)."""
+        return {
+            "index": self.index,
+            "code": self.code,
+            "approach": self.approach,
+            "p": self.p,
+            "workload": self.workload.to_dict(),
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SweepTask":
+        return cls(
+            index=d["index"],
+            code=d["code"],
+            approach=d["approach"],
+            p=d["p"],
+            workload=Workload.from_dict(d["workload"]),
+            seed=d["seed"],
+        )
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """The declarative grid; ``tasks()`` lowers it deterministically."""
+
+    primes: tuple[int, ...] = (5, 7, 11, 13)
+    pairs: tuple[tuple[str, str], ...] | None = None  # None = full paper grid
+    workloads: tuple[Workload, ...] = field(default_factory=lambda: (Workload.analysis(),))
+    seed: int = 0
+
+    def resolved_pairs(self) -> tuple[tuple[str, str], ...]:
+        return self.pairs if self.pairs is not None else paper_grid_pairs()
+
+    def tasks(self) -> list[SweepTask]:
+        """Workload-major, then prime, then (code, approach) — stable order."""
+        out: list[SweepTask] = []
+        for workload in self.workloads:
+            for p in self.primes:
+                for code, approach in self.resolved_pairs():
+                    out.append(
+                        SweepTask(
+                            index=len(out),
+                            code=code,
+                            approach=approach,
+                            p=p,
+                            workload=workload,
+                            seed=derive_seed(
+                                self.seed, code, approach, p,
+                                workload.kind, list(map(list, workload.params)),
+                            ),
+                        )
+                    )
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "primes": list(self.primes),
+            "pairs": [list(pr) for pr in self.resolved_pairs()],
+            "workloads": [w.to_dict() for w in self.workloads],
+            "seed": self.seed,
+        }

@@ -8,7 +8,13 @@ Two families:
   mathematical analysis").  One alignment cycle of the plan is tiled to
   the requested ``B`` (0.6M blocks in Figure 19), entirely in numpy.
 * synthetic application workloads (uniform / zipf / sequential) used by
-  the online-conversion machinery and the examples.
+  the online-conversion machinery, the examples and the sweep engine.
+
+Every stochastic generator takes an **explicit** seed — either an
+integer or a ready ``numpy.random.Generator`` — and holds no module
+state, so the same ``(generator, seed)`` pair produces bit-identical
+traces in any process (the sweep runner threads one derived seed per
+task; a regression test replays the pair in a child process).
 """
 
 from __future__ import annotations
@@ -99,8 +105,15 @@ def conversion_trace(
     )
 
 
+def _as_rng(seed: int | np.random.Generator) -> np.random.Generator:
+    """Normalise an explicit seed: pass Generators through, seed ints."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
 def uniform_trace(
-    rng: np.random.Generator,
+    seed: int | np.random.Generator,
     n_requests: int,
     n_disks: int,
     blocks_per_disk: int,
@@ -109,6 +122,7 @@ def uniform_trace(
     block_size: int = 4096,
 ) -> Trace:
     """Uniformly random application workload (open arrival process)."""
+    rng = _as_rng(seed)
     return Trace(
         arrival_ms=np.cumsum(rng.exponential(interarrival_ms, n_requests)),
         disk=rng.integers(0, n_disks, n_requests).astype(np.int32),
@@ -120,7 +134,7 @@ def uniform_trace(
 
 
 def zipf_trace(
-    rng: np.random.Generator,
+    seed: int | np.random.Generator,
     n_requests: int,
     n_disks: int,
     blocks_per_disk: int,
@@ -130,6 +144,7 @@ def zipf_trace(
     block_size: int = 4096,
 ) -> Trace:
     """Zipf-skewed workload (hot blocks), the usual datacenter shape."""
+    rng = _as_rng(seed)
     raw = rng.zipf(skew, n_requests)
     total = n_disks * blocks_per_disk
     flat = (raw - 1) % total

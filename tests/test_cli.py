@@ -229,3 +229,47 @@ class TestObservability:
         bad = tmp_path / "plain.json"
         bad.write_text('{"hello": 1}')
         assert run_cli("stats", str(bad)) == 1
+
+
+class TestSweepCli:
+    def test_serial_only_writes_bench(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_sweep.json"
+        assert run_cli(
+            "sweep", "--workers", "0", "--primes", "5",
+            "--workloads", "analysis", "--out", str(out),
+        ) == 0
+        bench = json.loads(out.read_text())
+        assert bench["bench"] == "sweep"
+        assert bench["identical"] is True
+        assert bench["n_tasks"] == len(bench["spec"]["pairs"])
+        assert "serial" in bench and "parallel" not in bench
+        assert bench["host_cpus"] >= 1
+
+    def test_unknown_workload_exit_2(self, capsys, tmp_path):
+        assert run_cli(
+            "sweep", "--workers", "0", "--workloads", "fuzz",
+            "--out", str(tmp_path / "b.json"),
+        ) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_parallel_bench_and_trace(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_sweep.json"
+        trace = tmp_path / "sweep_trace.json"
+        cache = tmp_path / "cache"
+        assert run_cli(
+            "sweep", "--workers", "2", "--primes", "5",
+            "--workloads", "analysis", "execute",
+            "--out", str(out), "--trace", str(trace),
+            "--cache-dir", str(cache),
+        ) == 0
+        bench = json.loads(out.read_text())
+        assert bench["identical"] is True
+        assert bench["serial"]["digest"] == bench["parallel"]["digest"]
+        assert bench["parallel"]["digest"] == bench["warm"]["digest"]
+        # cold parallel compiled the grid's programs; the warm rerun
+        # served every one from the persistent cache
+        assert bench["parallel"]["cache"]["compiled_total"] >= 1
+        assert bench["warm"]["compiled_total"] == 0
+        assert bench["speedup"] > 0
+        assert list(cache.glob("*.npz"))
+        validate_chrome_trace(load_chrome_trace(trace))

@@ -1,0 +1,66 @@
+"""Explicit-seed contract of the workload generators.
+
+Every stochastic generator takes its seed as the first argument and holds
+no module state, so the same (generator, seed) pair must produce
+bit-identical traces anywhere — including in a freshly spawned process,
+which is exactly how sweep workers replay them.  The child helper is at
+module level for the spawn context's re-import.
+"""
+
+import hashlib
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.workloads import sequential_trace, uniform_trace, zipf_trace
+
+SPAWN = mp.get_context("spawn")
+
+
+def _trace_digest(kind: str, seed: int) -> str:
+    gen = {"uniform": uniform_trace, "zipf": zipf_trace}[kind]
+    trace = gen(seed, 500, 7, 1000)
+    payload = (
+        trace.arrival_ms.tobytes()
+        + trace.disk.tobytes()
+        + trace.block.tobytes()
+        + trace.is_write.tobytes()
+    )
+    return hashlib.sha256(payload).hexdigest()
+
+
+def _child_digest(kind, seed, queue):
+    queue.put(_trace_digest(kind, seed))
+
+
+class TestExplicitSeeds:
+    @pytest.mark.parametrize("kind", ["uniform", "zipf"])
+    def test_same_seed_same_trace_in_process(self, kind):
+        assert _trace_digest(kind, 123) == _trace_digest(kind, 123)
+
+    @pytest.mark.parametrize("kind", ["uniform", "zipf"])
+    def test_different_seed_different_trace(self, kind):
+        assert _trace_digest(kind, 1) != _trace_digest(kind, 2)
+
+    @pytest.mark.parametrize("kind", ["uniform", "zipf"])
+    def test_same_seed_identical_across_processes(self, kind):
+        queue = SPAWN.Queue()
+        proc = SPAWN.Process(target=_child_digest, args=(kind, 777, queue))
+        proc.start()
+        child = queue.get(timeout=60)
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+        assert child == _trace_digest(kind, 777)
+
+    def test_generator_instance_passes_through(self):
+        rng = np.random.default_rng(5)
+        a = uniform_trace(rng, 100, 3, 50)
+        b = uniform_trace(np.random.default_rng(5), 100, 3, 50)
+        np.testing.assert_array_equal(a.block, b.block)
+
+    def test_sequential_is_seed_free_and_deterministic(self):
+        a = sequential_trace(100, 4)
+        b = sequential_trace(100, 4)
+        np.testing.assert_array_equal(a.disk, b.disk)
+        np.testing.assert_array_equal(a.block, b.block)

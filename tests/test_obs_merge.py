@@ -1,0 +1,79 @@
+"""Cross-process observability merging (repro.obs.merge)."""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    merge_snapshot,
+    spans_from_dicts,
+)
+
+
+def _worker_registry(scale: int) -> MetricsRegistry:
+    reg = MetricsRegistry(enabled=True)
+    reg.counter("io.total").inc(10 * scale)
+    reg.counter("io.reads", disk=0).inc(scale)
+    reg.gauge("config.p").set(5)
+    h = reg.histogram("latency_ms", buckets=(1.0, 10.0, 100.0))
+    h.observe(0.5 * scale)
+    h.observe(50.0)
+    return reg
+
+
+class TestMergeSnapshot:
+    def test_counters_add(self):
+        parent = MetricsRegistry(enabled=True)
+        merge_snapshot(_worker_registry(1).snapshot(), parent)
+        merge_snapshot(_worker_registry(2).snapshot(), parent)
+        assert parent.counter("io.total").value == 30
+        assert parent.counter("io.reads", disk=0).value == 3
+
+    def test_gauges_last_wins(self):
+        parent = MetricsRegistry(enabled=True)
+        merge_snapshot(_worker_registry(1).snapshot(), parent)
+        merge_snapshot(_worker_registry(2).snapshot(), parent)
+        assert parent.gauge("config.p").value == 5
+
+    def test_histograms_fold_observations(self):
+        parent = MetricsRegistry(enabled=True)
+        merge_snapshot(_worker_registry(1).snapshot(), parent)
+        merge_snapshot(_worker_registry(2).snapshot(), parent)
+        h = parent.histogram("latency_ms", buckets=(1.0, 10.0, 100.0))
+        assert h.count == 4
+        assert h.min == 0.5
+        assert h.max == 50.0
+
+    def test_mismatched_bucket_bounds_rejected(self):
+        parent = MetricsRegistry(enabled=True)
+        parent.histogram("latency_ms", buckets=(1.0, 2.0)).observe(1)
+        with pytest.raises(ValueError, match="bucket bounds"):
+            merge_snapshot(_worker_registry(1).snapshot(), parent)
+
+    def test_merge_into_fresh_registry_equals_source(self):
+        src = _worker_registry(3)
+        parent = merge_snapshot(src.snapshot(), MetricsRegistry(enabled=True))
+        assert parent.snapshot() == src.snapshot()
+
+
+class TestSpansFromDicts:
+    def _spans(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer", cat="test"):
+            with tracer.span("inner", cat="test", detail=1):
+                pass
+        return tracer.spans
+
+    def test_round_trip_preserves_fields(self):
+        spans = self._spans()
+        back = spans_from_dicts([s.to_dict() for s in spans])
+        assert [s.name for s in back] == [s.name for s in spans]
+        assert [s.dur_s for s in back] == [s.dur_s for s in spans]
+        assert back[0].args == spans[0].args
+
+    def test_track_prefix_namespaces_workers(self):
+        spans = self._spans()
+        back = spans_from_dicts([s.to_dict() for s in spans], track_prefix="worker-7/")
+        assert all(s.track.startswith("worker-7/") for s in back)
+        # original track name survives behind the prefix
+        assert back[0].track == f"worker-7/{spans[0].track}"

@@ -102,6 +102,42 @@ class TestDeprecatedImportRule:
         assert lint("from repro.migration import build_plan") == []
 
 
+class TestMultiprocessingBoundaryRule:
+    def test_flags_import_multiprocessing(self):
+        findings = lint("import multiprocessing")
+        assert [f.rule for f in findings] == ["SC-L004"]
+
+    def test_flags_submodule_import(self):
+        findings = lint("import multiprocessing.shared_memory")
+        assert [f.rule for f in findings] == ["SC-L004"]
+
+    def test_flags_from_import(self):
+        findings = lint("from multiprocessing import shared_memory")
+        assert [f.rule for f in findings] == ["SC-L004"]
+
+    def test_flags_concurrent_futures(self):
+        for src in (
+            "import concurrent.futures",
+            "from concurrent.futures import ProcessPoolExecutor",
+            "from concurrent import futures",
+        ):
+            findings = lint(src)
+            assert [f.rule for f in findings] == ["SC-L004"], src
+
+    def test_allowed_inside_sweep_package(self):
+        for rel in ("sweep/runner.py", "sweep/shm.py", "sweep/spec.py"):
+            assert lint("import multiprocessing", rel=rel) == []
+            assert lint("from concurrent.futures import wait", rel=rel) == []
+
+    def test_unrelated_imports_not_flagged(self):
+        assert lint("import threading") == []
+        assert lint("from concurrent import nonsense") == []
+
+    def test_message_points_at_the_sweep_runner(self):
+        findings = lint("import multiprocessing")
+        assert "repro.sweep" in findings[0].message
+
+
 class TestRepoIsClean:
     def test_run_lint_over_src(self):
         checks, findings = run_lint()

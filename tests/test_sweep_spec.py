@@ -1,0 +1,100 @@
+"""The sweep task model: stable expansion, stable seeds, wire round-trips."""
+
+import pytest
+
+from repro.sweep import SweepSpec, SweepTask, Workload, derive_seed, paper_grid_pairs
+
+
+class TestWorkload:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload kind"):
+            Workload("fuzz")
+
+    def test_unknown_appsim_pattern_rejected(self):
+        with pytest.raises(ValueError, match="unknown appsim pattern"):
+            Workload.appsim("random")
+
+    def test_params_sorted_for_equality(self):
+        a = Workload("sim", (("lb", 4), ("block_size", 512)))
+        b = Workload("sim", (("block_size", 512), ("lb", 4)))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_names(self):
+        assert Workload.analysis().name == "analysis"
+        assert Workload.sim(block_size=4096, lb=16).name == "sim-4k-lb16"
+        assert Workload.sim(block_size=8192, lb=None).name == "sim-8k"
+        assert Workload.sim(reorder_window=64).name == "sim-4k-lb16-ncq64"
+        assert Workload.appsim("zipf").name == "appsim-zipf"
+        assert Workload.execute().name == "execute"
+
+    def test_dict_round_trip(self):
+        for w in (
+            Workload.analysis(),
+            Workload.sim(total_blocks=1000),
+            Workload.execute(block_size=4),
+            Workload.appsim("uniform", n_requests=10),
+        ):
+            assert Workload.from_dict(w.to_dict()) == w
+
+
+class TestSpecExpansion:
+    def test_paper_grid_excludes_mirror(self):
+        pairs = paper_grid_pairs()
+        assert ("code56", "direct") in pairs
+        assert all(code != "code56-right" for code, _ in pairs)
+
+    def test_expansion_is_deterministic(self):
+        spec = SweepSpec(primes=(5, 7), seed=3)
+        assert spec.tasks() == spec.tasks()
+
+    def test_indexes_are_contiguous_and_ordered(self):
+        spec = SweepSpec(
+            primes=(5, 7),
+            workloads=(Workload.analysis(), Workload.execute()),
+        )
+        tasks = spec.tasks()
+        assert [t.index for t in tasks] == list(range(len(tasks)))
+        # workload-major ordering: all analysis cells precede all execute cells
+        kinds = [t.workload.kind for t in tasks]
+        assert kinds == sorted(kinds, key=("analysis", "execute").index)
+
+    def test_task_count(self):
+        spec = SweepSpec(primes=(5, 7, 11), pairs=(("code56", "direct"),))
+        assert len(spec.tasks()) == 3
+
+    def test_seeds_differ_per_cell_but_are_stable(self):
+        spec = SweepSpec(primes=(5, 7), seed=9)
+        seeds = [t.seed for t in spec.tasks()]
+        assert len(set(seeds)) == len(seeds)
+        assert seeds == [t.seed for t in SweepSpec(primes=(5, 7), seed=9).tasks()]
+
+    def test_root_seed_changes_every_task_seed(self):
+        a = {t.task_id: t.seed for t in SweepSpec(primes=(5,), seed=0).tasks()}
+        b = {t.task_id: t.seed for t in SweepSpec(primes=(5,), seed=1).tasks()}
+        assert a.keys() == b.keys()
+        assert all(a[k] != b[k] for k in a)
+
+    def test_task_wire_round_trip(self):
+        task = SweepSpec(primes=(5,), workloads=(Workload.execute(),)).tasks()[0]
+        assert SweepTask.from_dict(task.to_dict()) == task
+
+    def test_labels(self):
+        task = SweepSpec(primes=(5,), pairs=(("code56", "direct"),)).tasks()[0]
+        assert task.label == "direct(code56)"
+        assert task.task_id == "code56/direct/p5/analysis"
+
+
+class TestDeriveSeed:
+    def test_stable(self):
+        assert derive_seed(0, "a", 1) == derive_seed(0, "a", 1)
+
+    def test_sensitive_to_every_component(self):
+        base = derive_seed(0, "a", 1)
+        assert derive_seed(1, "a", 1) != base
+        assert derive_seed(0, "b", 1) != base
+        assert derive_seed(0, "a", 2) != base
+
+    def test_fits_in_63_bits(self):
+        for i in range(50):
+            assert 0 <= derive_seed(i, "x") < 2**63
