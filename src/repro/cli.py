@@ -107,15 +107,55 @@ def _cmd_convert(args: argparse.Namespace) -> int:
         rng = np.random.default_rng(args.seed)
         with tracer.span("prepare", cat="cli", blocks=plan.data_blocks):
             array, data = prepare_source_array(plan, rng, block_size=args.block_size)
-        if args.engine == "compiled":
+        plane = None
+        if args.inject is not None:
+            from repro.faults import (
+                ConversionCrash,
+                ConversionJournal,
+                FaultPlane,
+                FaultScenario,
+                execute_checkpointed,
+            )
+
+            spec = args.inject.strip()
+            scenario = (
+                FaultScenario.from_json(spec)
+                if spec.startswith("{")
+                else FaultScenario.load(spec)
+            )
+            plane = FaultPlane(scenario)
+            plane.attach(array)
+            journal = ConversionJournal()
+            crashes = 0
+            with tracer.span("execute.injected", cat="cli", engine=args.engine):
+                while True:
+                    try:
+                        run = execute_checkpointed(
+                            plan, array, data, journal, engine=args.engine
+                        )
+                        break
+                    except ConversionCrash:
+                        crashes += 1
+                        plane.disarm_crash()
+            result = run.result
+            ok = verify_conversion(result, rng, check_io_counters=False)
+            print(f"fault injection: {crashes} crash(es), "
+                  f"{run.units_skipped} unit(s) resumed from journal, "
+                  f"{run.rollbacks} rollback(s)")
+            fired = {k: v for k, v in plane.counters.items() if v}
+            if fired:
+                print("fault counters: "
+                      + ", ".join(f"{k}={v}" for k, v in sorted(fired.items())))
+        elif args.engine == "compiled":
             from repro.compiled import compile_plan, execute_plan_compiled
 
             with tracer.span("compile", cat="cli"):
                 program = compile_plan(plan)
             result = execute_plan_compiled(plan, array, data, program=program)
+            ok = verify_conversion(result, rng)
         else:
             result = execute_plan(plan, array, data)
-        ok = verify_conversion(result, rng)
+            ok = verify_conversion(result, rng)
 
         schedule = None
         if args.trace is not None:
@@ -131,6 +171,8 @@ def _cmd_convert(args: argparse.Namespace) -> int:
         if observing:
             obs.record_conversion(result, registry)
             obs.record_compiler_cache(registry)
+            if plane is not None:
+                obs.record_fault_plane(plane, registry)
 
         m = metrics_from_plan(plan)
         print(plan.describe())
@@ -304,6 +346,80 @@ def _cmd_scrub_demo(args: argparse.Namespace) -> int:
     print(f"  unlocatable : {report.unlocatable_groups}")
     print(f"array consistent after repair: {raid6.verify()}")
     return 0 if raid6.verify() else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Crash-point sweeps, fault soaks and scenario replay (repro.faults)."""
+    import json as _json
+
+    from repro.faults import (
+        crash_sweep_offline,
+        crash_sweep_online,
+        fault_soak,
+        replay_scenario,
+    )
+
+    if args.replay is not None:
+        from pathlib import Path
+
+        spec = (
+            _json.loads(args.replay)
+            if args.replay.strip().startswith("{")
+            else _json.loads(Path(args.replay).read_text())
+        )
+        outcome = replay_scenario(spec)
+        ok = bool(outcome.get("ok"))
+        print(f"replay {spec.get('kind', '?')}: {'PASS' if ok else 'FAIL'}")
+        for k, v in sorted(outcome.items()):
+            if k != "ok":
+                print(f"  {k}: {v}")
+        return 0 if ok else 1
+
+    reports = []
+    run_sweep = args.crash_sweep or args.soak is None
+    if run_sweep:
+        engines = ["audited", "compiled"] if args.engine == "both" else [args.engine]
+        for engine in engines:
+            reports.append(
+                crash_sweep_offline(
+                    args.p, engine, groups=args.groups, block_size=args.block_size,
+                    seed=args.seed, sample=args.sample, artifacts_dir=args.artifacts,
+                )
+            )
+        if args.online:
+            reports.append(
+                crash_sweep_online(
+                    args.p, groups=args.groups, block_size=args.block_size,
+                    seed=args.seed, schedules=args.schedules, sample=args.sample,
+                    artifacts_dir=args.artifacts,
+                )
+            )
+    if args.soak is not None:
+        reports.append(
+            fault_soak(
+                args.soak, seed=args.seed, block_size=args.block_size,
+                max_iterations=args.max_iterations, artifacts_dir=args.artifacts,
+            )
+        )
+
+    ok = all(r["ok"] for r in reports)
+    for r in reports:
+        kind = r["kind"]
+        status = "PASS" if r["ok"] else f"FAIL ({len(r['failures'])} failures)"
+        if kind == "crash-sweep-offline":
+            print(f"{kind} [{r['engine']}] p={r['p']}: {r['runs']} runs over "
+                  f"{r['points_swept']}/{r['crash_events']} crash points "
+                  f"x {len(r['variants'])} variants — {status}")
+        elif kind == "crash-sweep-online":
+            print(f"{kind} p={r['p']}: {r['runs']} runs over {r['schedules']} "
+                  f"schedules (crash events per schedule: {r['crash_events']}) — {status}")
+        else:
+            by_kind = ", ".join(f"{k}={v}" for k, v in r["by_kind"].items() if v)
+            print(f"{kind} seed={r['seed']}: {r['iterations']} iterations "
+                  f"({by_kind}) — {status}")
+    if not ok and args.artifacts:
+        print(f"replayable failure specs saved under {args.artifacts}/")
+    return 0 if ok else 1
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -512,6 +628,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write a Perfetto-viewable Chrome trace-event JSON")
     p_conv.add_argument("--metrics", nargs="?", const="-", default=None, metavar="PATH",
                         help="dump the metrics snapshot (optionally also as JSON to PATH)")
+    p_conv.add_argument("--inject", default=None, metavar="SCENARIO",
+                        help="fault scenario (JSON file or inline JSON): run the "
+                             "conversion under the fault plane with journaled "
+                             "crash recovery")
     p_conv.set_defaults(func=_cmd_convert)
 
     p_sim = sub.add_parser("simulate", help="simulated conversion makespans")
@@ -547,6 +667,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_scrub.add_argument("--corruptions", type=int, default=2)
     p_scrub.add_argument("--seed", type=int, default=0)
     p_scrub.set_defaults(func=_cmd_scrub_demo)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="crash-point sweeps + seeded fault soaks (repro.faults)"
+    )
+    p_chaos.add_argument("--crash-sweep", action="store_true",
+                         help="sweep every crash point of the offline engines "
+                              "(default action when --soak is not given)")
+    p_chaos.add_argument("--online", action="store_true",
+                         help="also sweep the online converter's crash points")
+    p_chaos.add_argument("--soak", type=float, default=None, metavar="SECONDS",
+                         help="seeded randomized fault campaign for a time budget")
+    p_chaos.add_argument("--replay", default=None, metavar="SPEC",
+                         help="re-run a saved failure spec (JSON file or inline)")
+    p_chaos.add_argument("--p", type=int, default=5)
+    p_chaos.add_argument("--groups", type=int, default=2)
+    p_chaos.add_argument("--block-size", type=int, default=8)
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument("--engine", choices=["audited", "compiled", "both"],
+                         default="both")
+    p_chaos.add_argument("--schedules", type=int, default=3,
+                         help="online sweep: app-write interleavings per point")
+    p_chaos.add_argument("--sample", type=int, default=None,
+                         help="sweep an evenly spaced subset of crash points "
+                              "(default: exhaustive)")
+    p_chaos.add_argument("--max-iterations", type=int, default=None,
+                         help="soak: stop after N iterations even within budget")
+    p_chaos.add_argument("--artifacts", default=None, metavar="DIR",
+                         help="save replayable failure specs here")
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     p_sweep = sub.add_parser(
         "sweep", help="parallel evaluation grid (serial vs process pool)"

@@ -1,0 +1,341 @@
+"""Crash-consistent conversion: checkpointed execution and resume.
+
+Both offline engines are wrapped in the same write-ahead discipline,
+one *unit* at a time — a stripe-group for the audited engine, a whole
+phase for the compiled engine:
+
+1. ``journal.begin(unit)`` logs the pre-image of every block the unit
+   will write (captured out of band, like controller NVRAM);
+2. the unit executes inside the fault plane's ``crashable()`` section,
+   so an armed crash can kill it before *any* of its op boundaries —
+   including the synthetic barriers right after ``begin`` and right
+   before ``commit`` (the classic torn-ordering windows);
+3. ``journal.commit(unit)`` seals it with a digest of the bytes written.
+
+Resume re-walks the unit list: validated committed units are skipped,
+everything else (in-flight, stale, tampered) is rolled back from its
+pre-images and re-executed.  Re-execution is byte-deterministic because
+rollback first restores the exact pre-unit state — so a conversion
+resumed after a crash at any boundary converges to the byte-identical
+final array (the crash-sweep tests enumerate every boundary).
+
+Degraded mode rides the same path: every unit runs through a
+:class:`~repro.faults.degraded.ReconstructingReader`, which turns disk
+failures and read faults into RAID-5 row reconstructions for
+zero-movement plans (direct Code 5-6) and refuses anything else.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.degraded import ReconstructingReader, plan_is_zero_movement
+from repro.faults.errors import ConversionCrash, ReadFaultError, TransientIOError
+from repro.faults.journal import ConversionJournal
+from repro.faults.plane import FaultPlane
+from repro.faults.spec import FaultScenario
+from repro.migration.engine import ConversionResult, _execute_group
+from repro.migration.plan import ConversionPlan
+from repro.raid.array import BlockArray, DiskFailure
+
+__all__ = [
+    "CheckpointedRun",
+    "execute_checkpointed",
+    "run_to_completion",
+    "count_crash_events",
+]
+
+_RECOVERABLE = (DiskFailure, ReadFaultError, TransientIOError)
+
+
+@dataclass
+class CheckpointedRun:
+    """Outcome of one (possibly resumed) checkpointed execution."""
+
+    result: ConversionResult
+    journal: ConversionJournal
+    units_executed: int
+    units_skipped: int
+    rollbacks: int
+    stale_detected: int
+    degraded: bool
+
+
+# --------------------------------------------------------------------- units
+def _audited_units(plan: ConversionPlan):
+    """(key, group-work, written-disks, written-blocks) in execution order."""
+    units = []
+    for gw in sorted(plan.group_works, key=lambda g: (g.phase, g.group)):
+        disks: list[int] = []
+        blocks: list[int] = []
+        for _src, dst, _rp, _wp in gw.migrates.values():
+            disks.append(dst.disk)
+            blocks.append(dst.block)
+        for loc in gw.null_writes.values():
+            disks.append(loc.disk)
+            blocks.append(loc.block)
+        for loc in gw.trims:
+            disks.append(loc.disk)
+            blocks.append(loc.block)
+        for loc in gw.parity_writes.values():
+            disks.append(loc.disk)
+            blocks.append(loc.block)
+        units.append(
+            (
+                ("group", gw.phase, gw.group),
+                gw,
+                np.asarray(disks, dtype=np.intp),
+                np.asarray(blocks, dtype=np.intp),
+            )
+        )
+    return units
+
+
+def _compiled_units(program):
+    """(key, phase-program, written-disks, written-blocks) per phase."""
+    units = []
+    for ph in program.phases:
+        disks = np.concatenate(
+            [ph.migrate_dst_disk, ph.null_disk, ph.trim_disk, ph.parity_disk]
+        )
+        blocks = np.concatenate(
+            [ph.migrate_dst_block, ph.null_block, ph.trim_block, ph.parity_block]
+        )
+        units.append((("phase", ph.phase), ph, disks, blocks))
+    return units
+
+
+# ---------------------------------------------------- compiled phase (shadow)
+def _bulk_read_recovering(
+    array: BlockArray, reader: ReconstructingReader, disks, blocks
+) -> np.ndarray:
+    """One counted bulk read; falls back to per-block reconstruction.
+
+    The healthy path is the executor's single gather (identical
+    counters); only when the bulk admission faults — a failed disk, a
+    sector error, an exhausted transient — does it degrade to per-block
+    reads through the reconstructing reader.
+    """
+    if disks.size == 0:
+        return np.zeros((0, array.block_size), dtype=np.uint8)
+    try:
+        return array.read_blocks(disks, blocks)
+    except _RECOVERABLE:
+        out = np.empty((disks.size, array.block_size), dtype=np.uint8)
+        for i in range(disks.size):
+            out[i] = reader.read(int(disks[i]), int(blocks[i]))
+        return out
+
+
+def _gather_peek(array: BlockArray, reader: ReconstructingReader, disks, blocks) -> np.ndarray:
+    """Uncounted gather with reconstruction for failed-disk elements."""
+    if not array.failed_disks:
+        return array.gather_raw(disks, blocks)
+    out = np.array(array.gather_raw(disks, blocks), copy=True)
+    for i in np.flatnonzero(np.isin(disks, sorted(array.failed_disks))):
+        out[i] = reader.peek(int(disks[i]), int(blocks[i]))
+    return out
+
+
+def _run_phase_checkpointed(program, ph, array: BlockArray, reader) -> None:
+    """The compiled executor's phase, with degraded/fault fallbacks.
+
+    Mirrors :func:`repro.compiled.executor._run_phase` bulk for bulk (so
+    healthy runs land on identical bytes and counters) but lives here —
+    outside the hot-path modules — because its recovery fallbacks are
+    per-block by nature.
+    """
+    code = program.code
+    if ph.migrate_src_disk.size:
+        payload = _bulk_read_recovering(array, reader, ph.migrate_src_disk, ph.migrate_src_block)
+        array.write_blocks(ph.migrate_dst_disk, ph.migrate_dst_block, payload)
+    if ph.null_disk.size:
+        array.write_zero_blocks(ph.null_disk, ph.null_block)
+    if ph.trim_disk.size:
+        array.trim_blocks(ph.trim_disk, ph.trim_block)
+    if ph.batch == 0:
+        return
+    stripes = np.zeros((ph.batch, code.rows, code.cols, array.block_size), dtype=np.uint8)
+    flat = stripes.reshape(-1, array.block_size)
+    if ph.read_disk.size:
+        flat[ph.read_cell] = _bulk_read_recovering(array, reader, ph.read_disk, ph.read_block)
+    if ph.fill_disk.size:
+        flat[ph.fill_cell] = _gather_peek(array, reader, ph.fill_disk, ph.fill_block)
+    code.encode(stripes)
+    if ph.parity_disk.size:
+        array.write_blocks(ph.parity_disk, ph.parity_block, flat[ph.parity_cell])
+    if ph.check_disk.size:
+        auditable = (
+            ~np.isin(ph.check_disk, sorted(array.failed_disks))
+            if array.failed_disks
+            else np.ones(ph.check_disk.size, dtype=bool)
+        )
+        actual = array.gather_raw(ph.check_disk[auditable], ph.check_block[auditable])
+        if not np.array_equal(flat[ph.check_cell[auditable]], actual):
+            bad = np.flatnonzero((flat[ph.check_cell[auditable]] != actual).any(axis=1))
+            raise AssertionError(
+                f"pre-existing parity at {bad.size} location(s) of phase "
+                f"{ph.phase} does not match the recomputed value — old "
+                "parity was not valid"
+            )
+
+
+# ------------------------------------------------------------------ executor
+def execute_checkpointed(
+    plan: ConversionPlan,
+    array: BlockArray,
+    data: np.ndarray,
+    journal: ConversionJournal | None = None,
+    *,
+    engine: str = "audited",
+    program=None,
+    validate: bool = True,
+) -> CheckpointedRun:
+    """Run (or resume) a conversion under the write-ahead journal.
+
+    Pass the journal of a crashed run to resume it — with the **same
+    engine**: unit boundaries differ between the audited (per-group) and
+    compiled (per-phase) executors, so a journal only describes the
+    engine that wrote it.  ``validate=False`` trusts committed units
+    blindly (only the seeded-fault selftest does this, to prove that
+    validation is what catches stale checkpoints).
+    """
+    from repro.obs.tracer import get_tracer
+
+    if engine not in ("audited", "compiled"):
+        raise ValueError(f"unknown engine {engine!r}")
+    degraded = bool(array.failed_disks)
+    if degraded:
+        lost_new = sorted(set(array.failed_disks) & set(plan.new_disks))
+        if lost_new:
+            raise ValueError(
+                f"hot-added disk(s) {lost_new} failed — the generated parities "
+                "have nowhere to land; replace the disk and restart"
+            )
+        if not plan_is_zero_movement(plan):
+            raise ValueError(
+                "degraded conversion requires a zero-movement plan (direct "
+                "Code 5-6): data-moving conversions break the RAID-5 row "
+                "invariant that reconstruct-on-read depends on"
+            )
+    if journal is None:
+        journal = ConversionJournal()
+    if engine == "compiled":
+        if program is None:
+            from repro.compiled.compiler import compile_plan
+
+            program = compile_plan(plan)
+        units = _compiled_units(program)
+    else:
+        units = _audited_units(plan)
+    reader = ReconstructingReader(
+        array, plan.m, allow_reconstruction=plan_is_zero_movement(plan)
+    )
+    plane = array.fault_plane
+    fresh = not journal.records
+    if fresh:
+        array.reset_counters()
+
+    executed = skipped = rollbacks = stale = 0
+    tracer = get_tracer()
+    with tracer.span(
+        "execute.checkpointed", cat="faults", engine=engine,
+        code=plan.code.name, approach=plan.approach, resumed=not fresh,
+        degraded=degraded,
+    ), (plane.crashable() if plane is not None else nullcontext()):
+        for key, work, wdisks, wblocks in units:
+            rec = journal.get(key)
+            if rec is not None and rec.state == "committed":
+                if not validate or journal.validate(key, array):
+                    skipped += 1
+                    continue
+                # a committed unit whose bytes no longer match is never
+                # trusted: undo and redo it from the logged pre-images
+                stale += 1
+                if plane is not None:
+                    plane.counters["stale_checkpoints"] += 1
+                journal.rollback(key, array)
+                rollbacks += 1
+            elif rec is not None:  # crashed in flight
+                journal.rollback(key, array)
+                rollbacks += 1
+            journal.begin(key, wdisks, wblocks, array.gather_raw(wdisks, wblocks))
+            if plane is not None:
+                plane.crash_point(f"begin:{key}")
+            if engine == "compiled":
+                _run_phase_checkpointed(program, work, array, reader)
+            else:
+                _execute_group(plan, work, array, io=reader)
+            if plane is not None:
+                plane.crash_point(f"pre-commit:{key}")
+            journal.commit(
+                key, ConversionJournal.digest_of(array.gather_raw(wdisks, wblocks))
+            )
+            executed += 1
+
+    result = ConversionResult(
+        array=array,
+        plan=plan,
+        data=data,
+        measured_reads=array.total_reads,
+        measured_writes=array.total_writes,
+    )
+    return CheckpointedRun(
+        result=result,
+        journal=journal,
+        units_executed=executed,
+        units_skipped=skipped,
+        rollbacks=rollbacks,
+        stale_detected=stale,
+        degraded=degraded,
+    )
+
+
+def run_to_completion(attempt, max_crashes: int = 10_000):
+    """Call ``attempt()`` until it stops raising :class:`ConversionCrash`.
+
+    Returns ``(value, crashes)``.  ``attempt`` must be resumable — e.g.
+    a closure over one journal that disarms (or re-arms) the crash
+    between calls; ``max_crashes`` guards against a harness that re-arms
+    the same crash point forever.
+    """
+    crashes = 0
+    while True:
+        try:
+            return attempt(), crashes
+        except ConversionCrash:
+            crashes += 1
+            if crashes > max_crashes:
+                raise
+
+
+def count_crash_events(
+    plan: ConversionPlan,
+    *,
+    engine: str = "audited",
+    block_size: int = 8,
+    seed: int = 0,
+    scenario: FaultScenario | None = None,
+    program=None,
+) -> int:
+    """Probe run: how many crashable events does this conversion have?
+
+    Runs the checkpointed executor once on a throwaway array with the
+    crash disarmed and returns the crashable-event count — the range an
+    exhaustive crash sweep enumerates.  ``scenario`` (minus its crash)
+    must match the sweep's, so faulted runs count the same events.
+    """
+    from repro.migration.engine import prepare_source_array
+
+    array, data = prepare_source_array(
+        plan, np.random.default_rng(seed), block_size=block_size
+    )
+    base = scenario.without_crash() if scenario is not None else FaultScenario()
+    plane = FaultPlane(base)
+    plane.attach(array)
+    execute_checkpointed(plan, array, data, engine=engine, program=program)
+    plane.detach()
+    return plane.crash_events_done

@@ -1,0 +1,22 @@
+"""Time-domain fault events injected into the online conversion.
+
+:class:`DiskFailureEvent` started life inside ``migration/online.py``;
+it lives here now so every fault type the project can inject — op-indexed
+schedules (:mod:`repro.faults.spec`) and tick-timed online events alike —
+comes from one package.  ``repro.migration.online`` re-exports it, so
+existing imports keep working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DiskFailureEvent"]
+
+
+@dataclass(frozen=True)
+class DiskFailureEvent:
+    """A whole-disk failure injected while the conversion runs."""
+
+    time: float
+    disk: int

@@ -91,12 +91,24 @@ def prepare_source_array(
     return array, data
 
 
-def _execute_group(plan: ConversionPlan, gw: GroupWork, array: BlockArray) -> None:
+def _execute_group(
+    plan: ConversionPlan, gw: GroupWork, array: BlockArray, io=None
+) -> None:
+    """Execute one stripe-group's work.
+
+    ``io`` is an optional adapter supplying ``read(disk, block)``
+    (counted), ``peek(disk, block)`` (uncounted) and ``check_ok(disk)``
+    — e.g. :class:`repro.faults.degraded.ReconstructingReader`, which
+    reconstructs through the RAID-5 row when a disk has failed or a read
+    faults.  ``None`` keeps the array's direct (and fastest) path.
+    """
     code = plan.code
     layout = code.layout
+    read = array.read if io is None else io.read
+    peek = array.raw if io is None else io.peek
     # 1. migrations (parity to new disk / data to overflow)
     for _dst_cell, (src, dst, _rp, _wp) in gw.migrates.items():
-        payload = array.read(src.disk, src.block)
+        payload = read(src.disk, src.block)
         array.write(dst.disk, dst.block, payload)
     # 2. NULL invalidation writes
     for _cell, loc in gw.null_writes.items():
@@ -109,7 +121,7 @@ def _execute_group(plan: ConversionPlan, gw: GroupWork, array: BlockArray) -> No
     # 4. reads into an in-memory stripe
     stripe = code.empty_stripe(array.block_size)
     for cell, loc in gw.reads.items():
-        stripe[cell[0], cell[1]] = array.read(loc.disk, loc.block)
+        stripe[cell[0], cell[1]] = read(loc.disk, loc.block)
     # 5. cells the plan did not read but the encoder's value check needs:
     #    data written earlier by migrations of other groups (HDP overflow)
     #    is still in controller memory — pulled uncounted.
@@ -119,7 +131,7 @@ def _execute_group(plan: ConversionPlan, gw: GroupWork, array: BlockArray) -> No
             continue
         loc = plan.cell_locations.get((gw.group, cell))
         if loc is not None:
-            stripe[cell[0], cell[1]] = array.raw(loc.disk, loc.block)
+            stripe[cell[0], cell[1]] = peek(loc.disk, loc.block)
     # 6. encode and write the generated parities
     code.encode(stripe)
     for cell, loc in gw.parity_writes.items():
@@ -134,6 +146,8 @@ def _execute_group(plan: ConversionPlan, gw: GroupWork, array: BlockArray) -> No
         loc = plan.cell_locations.get((gw.group, cell))
         if loc is None:
             continue
+        if io is not None and not io.check_ok(loc.disk):
+            continue  # the disk's true bytes are gone; nothing to audit
         if not np.array_equal(stripe[cell[0], cell[1]], array.raw(loc.disk, loc.block)):
             raise AssertionError(
                 f"pre-existing parity at {cell} of group {gw.group} does not "
@@ -184,6 +198,7 @@ def verify_conversion(
     result: ConversionResult,
     rng: np.random.Generator | None = None,
     failure_trials: int = 3,
+    check_io_counters: bool = True,
 ) -> bool:
     """Full post-conversion audit (see module docstring).
 
@@ -233,9 +248,13 @@ def verify_conversion(
                 batch_recover_columns(recovery, broken, c1, c2)
                 if not np.array_equal(broken, stripes):
                     return False
-        # 4. measured I/O == planned I/O
-        if result.measured_reads != plan.read_ios:
-            return False
-        if result.measured_writes != plan.write_ios:
-            return False
+        # 4. measured I/O == planned I/O.  Crash-resumed and degraded runs
+        #    legitimately spend extra I/O (rollback re-execution, row
+        #    reconstruction) — they pass check_io_counters=False and keep
+        #    every byte-level check above.
+        if check_io_counters:
+            if result.measured_reads != plan.read_ios:
+                return False
+            if result.measured_writes != plan.write_ios:
+                return False
         return True

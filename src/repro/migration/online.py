@@ -31,11 +31,21 @@ import numpy as np
 
 from repro.codes.code56 import diagonal_chain_cells
 from repro.codes.registry import get_code
+from repro.faults.errors import ReadFaultError, TransientIOError
+from repro.faults.events import DiskFailureEvent
 from repro.obs.tracer import get_tracer
 from repro.raid.array import BlockArray
 from repro.raid.layouts import Raid5Layout, locate_block, parity_disk
 
-__all__ = ["OnlineRequest", "OnlineReport", "OnlineCode56Conversion"]
+__all__ = [
+    "OnlineRequest",
+    "DiskFailureEvent",  # re-exported; the dataclass lives in repro.faults.events
+    "OnlineReport",
+    "OnlineCode56Conversion",
+]
+
+#: read faults the conversion hides by reconstructing through the RAID-5 row
+_RECOVERABLE_READS = (ReadFaultError, TransientIOError)
 
 
 @dataclass(frozen=True)
@@ -46,14 +56,6 @@ class OnlineRequest:
     lba: int
     is_write: bool
     payload: np.ndarray | None = None  # required for writes
-
-
-@dataclass(frozen=True)
-class DiskFailureEvent:
-    """A whole-disk failure injected while the conversion runs."""
-
-    time: float
-    disk: int
 
 
 @dataclass
@@ -84,9 +86,24 @@ class OnlineCode56Conversion:
     p:
         Prime parameter; ``m`` must equal ``p - 1`` (Step 1's check —
         virtual-disk setups convert offline through the plan engine).
+    journal:
+        Optional :class:`repro.faults.journal.OnlineJournal` watermark.
+        When supplied, each generated diagonal parity is marked (only
+        *after* its write lands), and construction doubles as **resume**:
+        every marked parity is re-validated against a recomputed chain
+        XOR — a valid mark is trusted, a stale one (e.g. a torn parity
+        write, or a mark that outlived the bytes) is dropped and the
+        parity regenerated.  The mark is a hint; the bytes are the
+        authority.
     """
 
-    def __init__(self, array: BlockArray, p: int, block_size: int | None = None):
+    def __init__(
+        self,
+        array: BlockArray,
+        p: int,
+        block_size: int | None = None,
+        journal=None,
+    ):
         self.array = array
         self.p = p
         self.m = p - 1
@@ -99,6 +116,52 @@ class OnlineCode56Conversion:
         # generated[g][i] — diagonal parity (i, p-1) of group g written?
         self._generated = np.zeros((self.groups, self.rows), dtype=bool)
         self._cursor = 0  # next (group * rows + row) to generate
+        self.journal = journal
+        #: completed events — a resume harness slices its event lists by
+        #: these (app serves are never crash-interrupted, so every event
+        #: before the crash was applied in full)
+        self.requests_served = 0
+        self.failures_applied = 0
+        if journal is not None:
+            if journal.shape != (self.groups, self.rows):
+                raise ValueError(
+                    f"journal shape {journal.shape} does not match "
+                    f"({self.groups}, {self.rows})"
+                )
+            self._validate_journal(journal)
+
+    def _validate_journal(self, journal) -> None:
+        """Trust-but-verify resume: recompute every marked parity's chain."""
+        stale = 0
+        for group in range(self.groups):
+            for row in range(self.rows):
+                if not journal.is_marked(group, row):
+                    continue
+                expect = self._chain_xor_uncounted(group, row)
+                block = group * self.rows + row
+                if np.array_equal(self.array.raw(self.m, block), expect):
+                    self._generated[group, row] = True
+                else:
+                    journal.unmark(group, row)  # stale: regenerate, never trust
+                    stale += 1
+        if stale:
+            plane = self.array.fault_plane
+            if plane is not None:
+                plane.counters["stale_checkpoints"] += stale
+
+    def _chain_xor_uncounted(self, group: int, parity_row: int) -> np.ndarray:
+        """Recompute one diagonal parity from raw bytes (recovery scan)."""
+        acc = np.zeros(self.array.block_size, dtype=np.uint8)
+        failed = self.array.failed_disks
+        for r, c in self._diag_chain(parity_row):
+            block = group * self.rows + r
+            if c in failed:  # RAID-5 row reconstruction, uncounted
+                for d in range(self.m):
+                    if d != c:
+                        np.bitwise_xor(acc, self.array.raw(d, block), out=acc)
+            else:
+                np.bitwise_xor(acc, self.array.raw(c, block), out=acc)
+        return acc
 
     # ----------------------------------------------------------- geometry
     @property
@@ -160,6 +223,7 @@ class OnlineCode56Conversion:
                     )
                 self.array.fail_disk(event.disk)
                 report.failures_survived += 1
+                self.failures_applied += 1
                 continue
             start = clock
             with tracer.span(
@@ -169,6 +233,7 @@ class OnlineCode56Conversion:
                 clock = self._serve(event, clock, report)
                 span.set(ticks=clock - start)
             report.request_latencies.append(clock - start)
+            self.requests_served += 1
         # drain the remaining conversion work
         clock = self._convert_until(float("inf"), clock, report)
         report.finish_tick = clock
@@ -179,22 +244,34 @@ class OnlineCode56Conversion:
 
     # --------------------------------------------------- conversion thread
     def _convert_until(self, deadline: float, clock: float, report: OnlineReport) -> float:
+        from contextlib import nullcontext
+
         total = self.groups * self.rows
         if self._cursor >= total:
             return clock
         start_tick, start_parities = clock, int(self._generated.sum())
+        plane = self.array.fault_plane
+        # only the conversion thread is crashable: an armed crash kills a
+        # parity generation at an I/O boundary, never an app serve
         with get_tracer().span(
             "convert", cat="online", track="conversion", tick=clock,
-        ) as span:
+        ) as span, (plane.crashable() if plane is not None else nullcontext()):
             while self._cursor < total:
                 group, row = divmod(self._cursor, self.rows)
                 if self._generated[group, row]:
                     self._cursor += 1
                     continue
                 cost = self._generate_parity(group, row, report)
+                if plane is not None:
+                    # the write-done/mark-missing window: a crash here
+                    # leaves a correct but unmarked parity, regenerated
+                    # (idempotently) on resume
+                    plane.crash_point(f"pre-mark:g{group}r{row}")
                 report.conversion_ticks += cost
                 clock += cost
                 self._generated[group, row] = True
+                if self.journal is not None:
+                    self.journal.mark(group, row)
                 self._cursor += 1
                 if clock >= deadline:
                     break
@@ -208,10 +285,19 @@ class OnlineCode56Conversion:
         """Read a square-column block, reconstructing if its disk failed.
 
         Degraded path: XOR the other ``m-1`` blocks of the RAID-5 stripe
-        (data plus old parity) — costs ``m-1`` reads instead of 1.
+        (data plus old parity) — costs ``m-1`` reads instead of 1.  The
+        same recovery hides latent sector errors and exhausted transient
+        faults surfaced by the fault plane; blocks on the hot-added disk
+        (``disk >= m``) have no covering row and re-raise.
         """
         if disk not in self.array.failed_disks:
-            return self.array.read(disk, block), 1
+            try:
+                return self.array.read(disk, block), 1
+            except _RECOVERABLE_READS:
+                if disk >= self.m:
+                    raise
+        elif disk >= self.m:
+            return self.array.read(disk, block), 1  # propagates DiskFailure
         acc = np.zeros(self.array.block_size, dtype=np.uint8)
         ios = 0
         for d in range(self.m):
@@ -220,6 +306,10 @@ class OnlineCode56Conversion:
             np.bitwise_xor(acc, self.array.read(d, block), out=acc)
             ios += 1
         report.degraded_reads += ios - 1
+        plane = self.array.fault_plane
+        if plane is not None:
+            plane.counters["reconstructed_blocks"] += 1
+            plane.counters["degraded_reads"] += ios - 1
         return acc, ios
 
     def _generate_parity(self, group: int, parity_row: int, report: OnlineReport) -> int:

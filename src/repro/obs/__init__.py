@@ -39,6 +39,7 @@ from repro.obs.record import (
     record_array_io,
     record_compiler_cache,
     record_conversion,
+    record_fault_plane,
     record_sim_result,
     record_staticcheck,
 )
@@ -80,6 +81,7 @@ __all__ = [
     "record_array_io",
     "record_compiler_cache",
     "record_conversion",
+    "record_fault_plane",
     "record_sim_result",
     "record_staticcheck",
     # cross-process merging

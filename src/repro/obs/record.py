@@ -20,6 +20,7 @@ __all__ = [
     "record_sim_result",
     "record_compiler_cache",
     "record_staticcheck",
+    "record_fault_plane",
 ]
 
 
@@ -89,6 +90,29 @@ def record_compiler_cache(registry: MetricsRegistry | None = None) -> None:
         c = registry.counter(f"compiler.cache.{key}")
         c.reset()
         c.inc(value)
+
+
+def record_fault_plane(plane, registry: MetricsRegistry | None = None) -> None:
+    """Injection/recovery tallies of a :class:`~repro.faults.FaultPlane`.
+
+    Counter-shaped entries (faults hit, retries, reconstructions, …)
+    land as ``faults.<name>`` counters; the scalar odometers (ops seen,
+    crashable events, accumulated backoff, outstanding sector errors)
+    as gauges — together they are the ``repro stats`` fault section.
+    """
+    registry = registry if registry is not None else get_registry()
+    snap = plane.snapshot()
+    gauges = {
+        "backoff_ticks",
+        "ops_seen",
+        "crashable_events",
+        "outstanding_sector_errors",
+    }
+    for name, value in snap.items():
+        if name in gauges:
+            registry.gauge(f"faults.{name}").set(float(value))
+        else:
+            registry.counter(f"faults.{name}").inc(int(value))
 
 
 def record_staticcheck(report, registry: MetricsRegistry | None = None) -> None:

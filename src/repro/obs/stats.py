@@ -97,4 +97,45 @@ def render_summary(summary: dict, top: int = 15) -> str:
     if metrics:
         n = sum(len(v) for v in metrics.values() if isinstance(v, list))
         lines.append(f"\nembedded metrics snapshot: {n} instruments")
+        lines.extend(_render_metric_values(metrics, top=top))
     return "\n".join(lines)
+
+
+def _fmt_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _render_metric_values(metrics: dict, top: int = 15) -> list[str]:
+    """Counter/gauge values from an embedded registry snapshot.
+
+    Counters are listed largest-first (the fault-injection tallies —
+    ``faults.retries``, ``faults.degraded_reads`` — surface here);
+    per-disk instruments collapse into the totals the summary already
+    shows, so disk-labelled entries are folded into one line per name.
+    """
+    lines: list[str] = []
+    counters = [c for c in metrics.get("counters", []) if c.get("value")]
+    if counters:
+        folded: dict[tuple, float] = {}
+        for c in counters:
+            labels = {k: v for k, v in c.get("labels", {}).items() if k != "disk"}
+            key = (c["name"], tuple(sorted(labels.items())))
+            folded[key] = folded.get(key, 0.0) + c["value"]
+        lines.append("\ncounters:")
+        ranked = sorted(folded.items(), key=lambda kv: -kv[1])
+        for (name, labels), value in ranked[:top]:
+            shown = f"{value:g}" if isinstance(value, float) else str(value)
+            lines.append(f"  {name}{_fmt_labels(dict(labels))} = {shown}")
+        if len(ranked) > top:
+            lines.append(f"  … {len(ranked) - top} more")
+    gauges = [g for g in metrics.get("gauges", []) if "disk" not in g.get("labels", {})]
+    if gauges:
+        lines.append("gauges:")
+        for g in gauges[:top]:
+            lines.append(f"  {g['name']}{_fmt_labels(g.get('labels', {}))} = {g['value']:g}")
+        if len(gauges) > top:
+            lines.append(f"  … {len(gauges) - top} more")
+    return lines

@@ -75,6 +75,8 @@ class BlockArray:
         self._failed: set[int] = set()
         self.reads = np.zeros(n_disks, dtype=np.int64)
         self.writes = np.zeros(n_disks, dtype=np.int64)
+        #: optional repro.faults.FaultPlane; None keeps every op fault-free
+        self._fault_plane = None
 
     @classmethod
     def over(cls, buffer: np.ndarray) -> "BlockArray":
@@ -118,6 +120,21 @@ class BlockArray:
         self.reads[:] = 0
         self.writes[:] = 0
 
+    # ---------------------------------------------------------- fault plane
+    @property
+    def fault_plane(self):
+        """The attached :class:`~repro.faults.plane.FaultPlane`, or None."""
+        return self._fault_plane
+
+    def attach_fault_plane(self, plane) -> None:
+        """Install (or, with ``None``, remove) a fault-injection plane.
+
+        Every counted I/O consults the plane before touching the store or
+        the counters; a detached array pays a single ``is None`` test per
+        op, so the injection-disabled overhead is unmeasurable.
+        """
+        self._fault_plane = plane
+
     # ------------------------------------------------------------------- I/O
     def _check(self, disk: int, block: int) -> None:
         if not 0 <= disk < self.n_disks:
@@ -128,23 +145,43 @@ class BlockArray:
             raise IndexError(f"block {block} outside disk of {self.blocks_per_disk}")
 
     def read(self, disk: int, block: int) -> np.ndarray:
-        """Read one block (returns a copy; counted)."""
+        """Read one block (returns a copy; counted).
+
+        With a fault plane attached the read may raise a typed fault
+        (sector error, exhausted transient, crash) *instead of* counting:
+        only completed I/O ticks the counters.
+        """
         self._check(disk, block)
+        if self._fault_plane is not None:
+            self._fault_plane.on_read(disk, block)
         self.reads[disk] += 1
         return self._store[disk, block].copy()
 
     def write(self, disk: int, block: int, payload: np.ndarray) -> None:
-        """Write one block (counted)."""
+        """Write one block (counted; a fault plane may tear or crash it)."""
         self._check(disk, block)
         payload = np.asarray(payload, dtype=np.uint8)
         if payload.shape != (self.block_size,):
             raise ValueError(f"payload must be ({self.block_size},), got {payload.shape}")
+        if self._fault_plane is not None:
+            payload, crash = self._fault_plane.on_write(
+                disk, block, payload, self._store[disk, block]
+            )
+            if crash is not None:
+                # the in-flight write's torn bytes hit the platter, but the
+                # op never completed — nothing is counted
+                if payload is not None:
+                    self._store[disk, block] = payload
+                raise crash
         self.writes[disk] += 1
         self._store[disk, block] = payload
 
     def write_zero(self, disk: int, block: int) -> None:
         """Write a NULL block (parity invalidation; counted as a write)."""
         self._check(disk, block)
+        if self._fault_plane is not None:
+            self.write(disk, block, np.zeros(self.block_size, dtype=np.uint8))
+            return
         self.writes[disk] += 1
         self._store[disk, block] = 0
 
@@ -171,6 +208,11 @@ class BlockArray:
         are each counted (they model repeated physical reads).
         """
         disks, blocks = self._check_bulk(disks, blocks)
+        if self._fault_plane is not None:
+            res = self._fault_plane.on_bulk_read(disks, blocks)
+            if res is not None:  # crash mid-bulk: count the completed prefix
+                self.reads += np.bincount(disks[: res.prefix], minlength=self.n_disks)
+                raise res.crash
         self.reads += np.bincount(disks, minlength=self.n_disks)
         return self._store.reshape(-1, self.block_size)[
             disks * self.blocks_per_disk + blocks
@@ -188,14 +230,39 @@ class BlockArray:
             raise ValueError(
                 f"payloads must be ({disks.size}, {self.block_size}), got {payloads.shape}"
             )
+        if self._fault_plane is not None:
+            self._faulted_bulk_write(disks, blocks, payloads)
+            return
         self.writes += np.bincount(disks, minlength=self.n_disks)
         self._store.reshape(-1, self.block_size)[
             disks * self.blocks_per_disk + blocks
         ] = payloads
 
+    def _faulted_bulk_write(self, disks, blocks, payloads: np.ndarray) -> None:
+        """Bulk write through the fault plane (tears, crash prefix)."""
+        flat = self._store.reshape(-1, self.block_size)
+        idx = disks * self.blocks_per_disk + blocks
+        payloads, res = self._fault_plane.on_bulk_write(
+            disks, blocks, payloads, lambda i: self._store[disks[i], blocks[i]]
+        )
+        if res is not None:
+            # elements before the crash completed and count; the in-flight
+            # element may leave torn bytes, uncounted
+            self.writes += np.bincount(disks[: res.prefix], minlength=self.n_disks)
+            flat[idx[: res.prefix]] = payloads[: res.prefix]
+            if res.inflight_payload is not None:
+                flat[idx[res.prefix]] = res.inflight_payload
+            raise res.crash
+        self.writes += np.bincount(disks, minlength=self.n_disks)
+        flat[idx] = payloads
+
     def write_zero_blocks(self, disks, blocks) -> None:
         """Bulk counted NULL writes (parity invalidation)."""
         disks, blocks = self._check_bulk(disks, blocks)
+        if self._fault_plane is not None:
+            zeros = np.zeros((disks.size, self.block_size), dtype=np.uint8)
+            self._faulted_bulk_write(disks, blocks, zeros)
+            return
         self.writes += np.bincount(disks, minlength=self.n_disks)
         self._store.reshape(-1, self.block_size)[
             disks * self.blocks_per_disk + blocks
@@ -223,6 +290,28 @@ class BlockArray:
         return self._store.reshape(-1, self.block_size)[
             disks * self.blocks_per_disk + blocks
         ]
+
+    def restore_blocks(self, disks, blocks, payloads: np.ndarray) -> None:
+        """Bulk uncounted scatter (journal rollback / stable-storage undo).
+
+        The write-side counterpart of :meth:`gather_raw`: failure state
+        and the fault plane are not consulted — this models the recovery
+        path re-applying journaled pre-images out of band, not array
+        traffic.  Duplicate locations must carry identical payloads
+        (pre-images of one unit do by construction); the last one wins.
+        """
+        disks = np.asarray(disks, dtype=np.intp).ravel()
+        blocks = np.asarray(blocks, dtype=np.intp).ravel()
+        payloads = np.asarray(payloads, dtype=np.uint8)
+        if disks.shape != blocks.shape:
+            raise ValueError("disks and blocks must have the same length")
+        if payloads.shape != (disks.size, self.block_size):
+            raise ValueError(
+                f"payloads must be ({disks.size}, {self.block_size}), got {payloads.shape}"
+            )
+        self._store.reshape(-1, self.block_size)[
+            disks * self.blocks_per_disk + blocks
+        ] = payloads
 
     def bulk_view(self, disks: slice, blocks: slice) -> np.ndarray:
         """Uncounted ndarray *view* of a rectangular region.

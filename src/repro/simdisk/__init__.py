@@ -2,6 +2,7 @@
 
 from repro.simdisk.disk import DiskModel
 from repro.simdisk.events import Event, EventQueue
+from repro.simdisk.faults import ServiceFaults, SimRequestError, validate_trace
 from repro.simdisk.presets import PRESETS, get_preset
 from repro.simdisk.scheduler import FcfsQueue, LookQueue, SstfQueue, make_scheduler
 from repro.simdisk.sim import (
@@ -16,6 +17,9 @@ __all__ = [
     "DiskModel",
     "Event",
     "EventQueue",
+    "ServiceFaults",
+    "SimRequestError",
+    "validate_trace",
     "PRESETS",
     "get_preset",
     "FcfsQueue",

@@ -1,0 +1,114 @@
+"""Request validation and per-request service faults for the simulator.
+
+Two concerns, both deliberately engine-agnostic so the closed-loop and
+event-driven engines stay equivalent under them:
+
+* :class:`SimRequestError` — typed rejection of malformed requests: a
+  block address outside the disk's capacity, or a non-positive request
+  size.  Both engines validate the trace up front (a real controller
+  rejects these at the door; silently simulating them would fabricate
+  service times for impossible geometry).
+* :class:`ServiceFaults` — a deterministic, seeded model of transient
+  media retries: each request independently suffers a retry penalty
+  (e.g. an ECC re-read costing extra revolutions) with probability
+  ``transient_rate``.  The penalty vector is keyed by *trace index*, not
+  queue position, so any engine — whatever order it serves requests in —
+  charges the same request the same penalty, preserving the tested
+  closed-loop/event-driven equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simdisk.disk import DiskModel
+
+__all__ = ["SimRequestError", "ServiceFaults", "validate_trace"]
+
+
+class SimRequestError(ValueError):
+    """A trace request the disk array cannot serve (bad address/size)."""
+
+    def __init__(self, reason: str, *, index: int | None = None,
+                 disk: int | None = None, block: int | None = None):
+        self.reason = reason
+        self.index = index
+        self.disk = disk
+        self.block = block
+        where = "" if index is None else f" (request {index}"
+        if index is not None:
+            where += f", disk {disk}, block {block})"
+        super().__init__(reason + where)
+
+
+def validate_trace(trace, model: DiskModel, n_disks: int, *,
+                   require_disk_in_range: bool = False) -> None:
+    """Reject traces no real array could serve.
+
+    ``require_disk_in_range`` is the event-driven engine's stance (it has
+    exactly ``n_disks`` queues); the closed-loop engine historically
+    *drops* requests beyond the array instead, so it validates only the
+    requests it serves.
+    """
+    if trace.block_size <= 0:
+        raise SimRequestError(
+            f"request size must be positive, got {trace.block_size}"
+        )
+    if len(trace) == 0:
+        return
+    disk = np.asarray(trace.disk)
+    block = np.asarray(trace.block, dtype=np.int64)
+    capacity = model.cylinders * model.blocks_per_cylinder
+    served = disk < n_disks if not require_disk_in_range else np.ones(len(disk), bool)
+    if require_disk_in_range:
+        bad = np.flatnonzero((disk < 0) | (disk >= n_disks))
+        if bad.size:
+            i = int(bad[0])
+            raise SimRequestError(
+                f"disk index out of range [0, {n_disks})",
+                index=i, disk=int(disk[i]), block=int(block[i]),
+            )
+    bad = np.flatnonzero(served & ((block < 0) | (block >= capacity)))
+    if bad.size:
+        i = int(bad[0])
+        raise SimRequestError(
+            f"block address out of range [0, {capacity})",
+            index=i, disk=int(disk[i]), block=int(block[i]),
+        )
+
+
+@dataclass(frozen=True)
+class ServiceFaults:
+    """Seeded transient-retry model applied on top of the service time.
+
+    ``retry_penalty_ms`` is charged per hit — think of it as the extra
+    revolutions an ECC-triggered re-read costs before the sector finally
+    verifies.  The draw is one ``default_rng(seed)`` pass over the trace,
+    so a scenario is reproducible from ``(seed, rate, penalty)`` alone.
+    """
+
+    seed: int = 0
+    transient_rate: float = 0.0
+    retry_penalty_ms: float = 10.0
+
+    def delays_ms(self, n_requests: int) -> np.ndarray:
+        """Per-request extra service time, indexed by trace position."""
+        if n_requests == 0 or self.transient_rate <= 0.0:
+            return np.zeros(n_requests)
+        rng = np.random.default_rng(self.seed)
+        hits = rng.random(n_requests) < self.transient_rate
+        return np.where(hits, self.retry_penalty_ms, 0.0)
+
+    def record(self, delays: np.ndarray) -> None:
+        """Publish hit/penalty tallies to the metrics registry (if on)."""
+        from repro.obs.metrics import get_registry
+
+        registry = get_registry()
+        if not registry.enabled:
+            return
+        hits = int(np.count_nonzero(delays))
+        if hits:
+            registry.counter("simdisk.service_faults").inc(hits)
+            registry.counter("simdisk.fault_penalty_ms").inc(float(delays.sum()))

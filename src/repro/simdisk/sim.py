@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.simdisk.disk import DiskModel
 from repro.simdisk.events import EventQueue
+from repro.simdisk.faults import ServiceFaults, validate_trace
 from repro.simdisk.scheduler import make_scheduler
 from repro.workloads.trace import Trace
 
@@ -123,6 +124,7 @@ def simulate_closed(
     model: DiskModel,
     n_disks: int | None = None,
     reorder_window: int | None = None,
+    faults: ServiceFaults | None = None,
 ) -> SimResult:
     """Closed-loop FCFS makespan (vectorised).
 
@@ -131,6 +133,11 @@ def simulate_closed(
     disk serves blocks in ascending order — bounded elevator reordering.
     ``None`` replays the trace order verbatim.
 
+    ``faults`` layers seeded transient-retry penalties on top of the
+    mechanical service times (see :class:`ServiceFaults`); penalties are
+    keyed by trace index, so the event-driven engine charges the same
+    requests identically.
+
     Latency here is time-in-system under saturation — dominated by queue
     position; reported for completeness, the headline output is the
     makespan.
@@ -138,15 +145,20 @@ def simulate_closed(
     if reorder_window is not None and reorder_window < 1:
         raise ValueError("reorder_window must be >= 1")
     n = n_disks if n_disks is not None else trace.n_disks
+    validate_trace(trace, model, n)
     busy = np.zeros(n)
     requests = np.zeros(n, dtype=np.int64)
-    _idx, d_sorted, blocks, first, seg_starts, counts = _closed_queue_order(
+    idx, d_sorted, blocks, first, seg_starts, counts = _closed_queue_order(
         trace, n, reorder_window
     )
     m = d_sorted.size
     if m == 0:
         return SimResult(0.0, busy, 0, 0.0, 0.0, per_disk_requests=requests)
     service = model.service_ms_vector(blocks, trace.block_size, first=first)
+    if faults is not None:
+        delays = faults.delays_ms(len(trace))[idx]
+        service = service + delays
+        faults.record(delays)
     # per-disk cumulative completion via one global cumsum minus the
     # running total at each disk's segment start
     cum = np.cumsum(service)
@@ -191,6 +203,10 @@ class DiskSchedule:
     rotate_ms: np.ndarray
     transfer_ms: np.ndarray
     completion_ms: np.ndarray
+    #: per-entry transient-retry penalty (zeros unless faults were passed);
+    #: with faults, the invariant becomes start + seek + rotate + transfer
+    #: + fault == completion
+    fault_ms: np.ndarray | None = None
 
     def __len__(self) -> int:
         return len(self.disk)
@@ -210,22 +226,30 @@ def closed_request_schedule(
     model: DiskModel,
     n_disks: int | None = None,
     reorder_window: int | None = None,
+    faults: ServiceFaults | None = None,
 ) -> DiskSchedule:
     """The closed-loop engine's schedule, one entry per served request.
 
     Same queue ordering and service model as :func:`simulate_closed`
-    (including NCQ reordering), but keeps the per-request start times and
-    the seek/rotate/transfer decomposition instead of reducing to a
-    makespan — the raw material for the Perfetto disk timeline.
+    (including NCQ reordering and transient-retry penalties), but keeps
+    the per-request start times and the seek/rotate/transfer
+    decomposition instead of reducing to a makespan — the raw material
+    for the Perfetto disk timeline.
     """
     if reorder_window is not None and reorder_window < 1:
         raise ValueError("reorder_window must be >= 1")
     n = n_disks if n_disks is not None else trace.n_disks
+    validate_trace(trace, model, n)
     idx, d_sorted, blocks, first, seg_starts, counts = _closed_queue_order(
         trace, n, reorder_window
     )
     seek, rot, xfer = model.service_components_vector(blocks, trace.block_size, first=first)
-    service = seek + rot + xfer if seek.size else np.zeros(0)
+    fault = (
+        faults.delays_ms(len(trace))[idx]
+        if faults is not None and idx.size
+        else np.zeros(idx.size)
+    )
+    service = seek + rot + xfer + fault if seek.size else np.zeros(0)
     cum = np.cumsum(service)
     offset = (
         np.repeat(np.where(seg_starts > 0, cum[seg_starts - 1], 0.0), counts)
@@ -246,6 +270,7 @@ def closed_request_schedule(
         rotate_ms=rot,
         transfer_ms=xfer,
         completion_ms=completion,
+        fault_ms=fault,
     )
 
 
@@ -290,11 +315,17 @@ class DiskArraySimulator:
         self.n_disks = n_disks
         self.scheduler_name = scheduler
 
-    def run(self, trace: Trace) -> SimResult:
+    def run(self, trace: Trace, faults: ServiceFaults | None = None) -> SimResult:
         from repro.obs.metrics import get_registry  # lazy: avoids import cycle
 
         registry = get_registry()
         collect = registry.enabled
+        validate_trace(trace, self.models[0], self.n_disks, require_disk_in_range=True)
+        if faults is not None:
+            fault_delays = faults.delays_ms(len(trace))
+            faults.record(fault_delays)
+        else:
+            fault_delays = None
         queues = [make_scheduler(self.scheduler_name) for _ in range(self.n_disks)]
         head: list[int | None] = [None] * self.n_disks
         busy_until = np.zeros(self.n_disks)
@@ -320,6 +351,8 @@ class DiskArraySimulator:
             idle[disk] = False
             req = q.pop(head[disk] if head[disk] is not None else 0)
             service = self.models[disk].service_ms(head[disk], req.block, trace.block_size)
+            if fault_delays is not None:
+                service += fault_delays[req.index]
             head[disk] = req.block
             busy_time[disk] += service
             served[disk] += 1

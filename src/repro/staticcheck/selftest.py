@@ -24,7 +24,12 @@ from repro.codes.geometry import CodeLayout, ParityChain
 from repro.codes.registry import CODE_CATALOG, get_layout
 from repro.staticcheck.report import Finding
 
-__all__ = ["mutated_layouts", "mutated_programs", "run_selftest"]
+__all__ = [
+    "mutated_layouts",
+    "mutated_programs",
+    "crash_recovery_checks",
+    "run_selftest",
+]
 
 
 def _drop_member(layout: CodeLayout) -> CodeLayout:
@@ -129,6 +134,79 @@ def mutated_programs() -> list[tuple[str, object, object]]:
     return cases
 
 
+def crash_recovery_checks() -> list[tuple[str, bool]]:
+    """Plant stale checkpoints; demand detection plus re-execution.
+
+    A committed journal unit whose bytes no longer match its digest, or
+    an online watermark mark with no parity behind it, must be rolled
+    back / unmarked and re-executed — never trusted.  Each drill returns
+    ``(description, recovered)`` where ``recovered`` requires both the
+    detection *and* byte-level reconvergence with an untampered run, so
+    a recovery path that silently trusts (or silently diverges) fails.
+    """
+    from repro.faults import (
+        ConversionJournal,
+        FaultPlane,
+        FaultScenario,
+        OnlineJournal,
+        execute_checkpointed,
+    )
+    from repro.migration.approaches import build_plan
+    from repro.migration.engine import prepare_source_array
+    from repro.migration.online import OnlineCode56Conversion
+
+    checks: list[tuple[str, bool]] = []
+    plan = build_plan("code56", "direct", 5, groups=2)
+
+    for engine in ("audited", "compiled"):
+        array, data = prepare_source_array(
+            plan, np.random.default_rng(11), block_size=8
+        )
+        journal = ConversionJournal()
+        execute_checkpointed(plan, array, data, journal, engine=engine)
+        reference = array.snapshot()
+
+        # control: with the journal intact, resume skips every unit
+        rerun = execute_checkpointed(plan, array, data, journal, engine=engine)
+        control = rerun.stale_detected == 0 and rerun.units_executed == 0
+
+        # flip one byte a committed unit wrote; its digest is now a lie
+        rec = next(r for r in journal.records.values() if r.state == "committed")
+        payloads = array.gather_raw(rec.disks, rec.blocks)
+        payloads[0, 0] ^= 0xFF
+        array.restore_blocks(rec.disks, rec.blocks, payloads)
+        resumed = execute_checkpointed(plan, array, data, journal, engine=engine)
+        recovered = (
+            control
+            and resumed.stale_detected >= 1
+            and resumed.rollbacks >= 1
+            and bool(np.array_equal(array.snapshot(), reference))
+        )
+        checks.append(
+            (f"{engine} engine: tampered committed checkpoint re-executed",
+             recovered)
+        )
+
+    # online: a mark with no parity bytes behind it must be dropped
+    array, _data = prepare_source_array(plan, np.random.default_rng(11), block_size=8)
+    plane = FaultPlane(FaultScenario())
+    plane.attach(array)
+    journal = OnlineJournal(plan.groups, 4)
+    journal.mark(0, 0)  # claims a diagonal parity that was never generated
+    conv = OnlineCode56Conversion(array, 5, journal=journal)
+    dropped = (
+        not journal.is_marked(0, 0)
+        and plane.counters["stale_checkpoints"] >= 1
+    )
+    conv.run([])
+    plane.detach()
+    checks.append(
+        ("online: stale watermark mark dropped and parity regenerated",
+         dropped and conv.verify())
+    )
+    return checks
+
+
 def run_selftest() -> tuple[int, list[Finding]]:
     """Every seeded fault must be detected; each miss is an SC-S001."""
     from repro.staticcheck.dataflow import analyze_program
@@ -165,6 +243,22 @@ def run_selftest() -> tuple[int, list[Finding]]:
                     message=(
                         "dataflow analyzer missed a seeded fault: a corrupted "
                         "compiled index program went undetected"
+                    ),
+                )
+            )
+
+    for description, recovered in crash_recovery_checks():
+        checks += 1
+        if not recovered:
+            findings.append(
+                Finding(
+                    analyzer="selftest",
+                    rule="SC-S001",
+                    location=description,
+                    message=(
+                        "recovery drill failed: a deliberately stale checkpoint "
+                        "was trusted (or resume diverged) instead of being "
+                        "detected and re-executed"
                     ),
                 )
             )

@@ -98,6 +98,57 @@ class TestScrubCommand:
         assert run_cli("scrub", "rdp", "--p", "5", "--corruptions", "1") == 0
 
 
+class TestFaultInjectionCli:
+    def test_convert_with_inline_scenario(self, capsys):
+        scenario = json.dumps(
+            {"seed": 5, "crash_at": 8, "crash_tear": 0.5,
+             "transients": [{"op": 3, "failures": 1}]}
+        )
+        assert run_cli(
+            "convert", "code56", "direct", "--p", "5", "--groups", "2",
+            "--engine", "audited", "--inject", scenario,
+        ) == 0
+        out = capsys.readouterr().out
+        assert "verified: True" in out
+        assert "fault injection: 1 crash(es)" in out
+        assert "crashes=1" in out
+
+    def test_convert_with_scenario_file_and_metrics(self, tmp_path, capsys):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps({"seed": 1, "sector_errors":
+                                    [{"disk": 2, "block": 2}]}))
+        assert run_cli(
+            "convert", "code56", "direct", "--p", "5", "--groups", "2",
+            "--engine", "audited", "--inject", str(path), "--metrics",
+        ) == 0
+        out = capsys.readouterr().out
+        assert "faults.sector_errors_hit" in out
+        assert "faults.reconstructed_blocks" in out
+
+    def test_chaos_sampled_sweep(self, capsys):
+        assert run_cli(
+            "chaos", "--crash-sweep", "--sample", "3", "--engine", "audited",
+        ) == 0
+        out = capsys.readouterr().out
+        assert "crash-sweep-offline" in out and "PASS" in out
+
+    def test_chaos_soak_bounded(self, capsys):
+        assert run_cli(
+            "chaos", "--soak", "60", "--max-iterations", "5", "--seed", "42",
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fault-soak" in out and "5 iterations" in out
+
+    def test_chaos_replay_inline(self, capsys):
+        spec = json.dumps({
+            "kind": "offline-crash", "engine": "compiled", "p": 5,
+            "groups": 2, "block_size": 8, "seed": 3,
+            "scenario": {"seed": 3, "crash_at": 4, "crash_tear": 0.5},
+        })
+        assert run_cli("chaos", "--replay", spec) == 0
+        assert "replay offline-crash: PASS" in capsys.readouterr().out
+
+
 class TestCertifyTolerance:
     def test_star_triple(self, capsys):
         assert run_cli("certify", "star", "--p", "5", "--tolerance", "3") == 0

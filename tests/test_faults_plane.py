@@ -1,0 +1,247 @@
+"""The fault-injection plane: deterministic faults under BlockArray I/O."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    ConversionCrash,
+    DiskFailureAt,
+    FaultPlane,
+    FaultScenario,
+    ReadFaultError,
+    RetryPolicy,
+    SectorError,
+    TornWrite,
+    TransientFault,
+    TransientIOError,
+)
+from repro.raid.array import BlockArray, DiskFailure
+
+
+def fresh_array(rng, n_disks=5, blocks=8, bs=8):
+    array = BlockArray(n_disks, blocks, block_size=bs)
+    for d in range(n_disks):
+        for b in range(blocks):
+            array.write(d, b, rng.integers(0, 256, size=bs, dtype=np.uint8))
+    return array
+
+
+def attach(array, **scenario_kwargs):
+    plane = FaultPlane(FaultScenario(**scenario_kwargs))
+    plane.attach(array)
+    return plane
+
+
+class TestScenarioRoundTrip:
+    def test_json_round_trip_is_identity(self):
+        scenario = FaultScenario(
+            seed=42,
+            sector_errors=(SectorError(1, 3), SectorError(2, 0)),
+            torn_writes=(TornWrite(5, 0.25),),
+            transients=(TransientFault(7, failures=2),),
+            disk_failures=(DiskFailureAt(11, disk=0),),
+            transient_rate=0.01,
+            crash_at=9,
+            crash_tear=0.5,
+            retry=RetryPolicy(max_retries=5, backoff_base_ticks=2.0),
+            meta={"p": 5},
+        )
+        assert FaultScenario.from_json(scenario.to_json()) == scenario
+
+    def test_crash_variants(self):
+        base = FaultScenario(seed=1)
+        armed = base.with_crash(4, 0.5)
+        assert (armed.crash_at, armed.crash_tear) == (4, 0.5)
+        assert armed.without_crash() == base
+
+
+class TestSectorErrors:
+    def test_read_fails_until_rewritten(self, rng):
+        array = fresh_array(rng)
+        plane = attach(array, sector_errors=(SectorError(1, 2),))
+        with pytest.raises(ReadFaultError) as exc:
+            array.read(1, 2)
+        assert (exc.value.disk, exc.value.block) == (1, 2)
+        assert plane.counters["sector_errors_hit"] == 1
+        # the write remaps the sector and clears the error
+        payload = rng.integers(0, 256, size=8, dtype=np.uint8)
+        array.write(1, 2, payload)
+        assert plane.counters["sector_errors_cleared"] == 1
+        assert np.array_equal(array.read(1, 2), payload)
+
+    def test_other_blocks_unaffected(self, rng):
+        array = fresh_array(rng)
+        attach(array, sector_errors=(SectorError(1, 2),))
+        array.read(1, 3)
+        array.read(0, 2)
+
+    def test_bulk_read_raises_on_any_bad_element(self, rng):
+        array = fresh_array(rng)
+        plane = attach(array, sector_errors=(SectorError(2, 1),))
+        with pytest.raises(ReadFaultError):
+            array.read_blocks(np.array([0, 2, 3]), np.array([1, 1, 1]))
+        assert plane.counters["sector_errors_hit"] == 1
+
+    def test_bad_mask_pre_screen(self, rng):
+        array = fresh_array(rng)
+        plane = attach(array, sector_errors=(SectorError(2, 1), SectorError(0, 0)))
+        mask = plane.bad_mask(np.array([0, 2, 3]), np.array([0, 1, 1]))
+        assert mask.tolist() == [True, True, False]
+
+
+class TestTransients:
+    def test_retried_within_budget(self, rng):
+        array = fresh_array(rng)
+        plane = attach(array, transients=(TransientFault(op=0, failures=2),))
+        array.read(0, 0)  # succeeds after 2 internal retries
+        assert plane.counters["transients"] == 1
+        assert plane.counters["retries"] == 2
+        assert plane.counters["retries_exhausted"] == 0
+
+    def test_exhausted_budget_raises(self, rng):
+        array = fresh_array(rng)
+        plane = attach(array, transients=(TransientFault(op=0, failures=4),))
+        with pytest.raises(TransientIOError) as exc:
+            array.read(0, 0)
+        assert exc.value.attempts == 4  # max_retries + 1
+        assert plane.counters["retries_exhausted"] == 1
+
+    def test_exponential_backoff_accounting(self, rng):
+        array = fresh_array(rng)
+        plane = attach(
+            array,
+            transients=(TransientFault(op=0, failures=3),),
+            retry=RetryPolicy(max_retries=3, backoff_base_ticks=1.0,
+                              backoff_multiplier=2.0),
+        )
+        array.read(0, 0)
+        assert plane.backoff_ticks == 1.0 + 2.0 + 4.0
+
+    def test_rate_based_transients_are_seed_deterministic(self, rng):
+        def run(seed):
+            array = fresh_array(np.random.default_rng(0))
+            plane = attach(array, seed=seed, transient_rate=0.3)
+            for b in range(8):
+                array.read(0, b)
+            return plane.counters["transients"]
+
+        assert run(7) == run(7)
+
+
+class TestTornWrites:
+    def test_prefix_persisted_suffix_stale(self, rng):
+        array = fresh_array(rng)
+        old = array.read(0, 0).copy()
+        plane = attach(array, torn_writes=(TornWrite(op=0, keep_fraction=0.5),))
+        new = old ^ 0xFF
+        array.write(0, 0, new)
+        assert plane.counters["torn_writes"] == 1
+        stored = array.read(0, 0)
+        assert np.array_equal(stored[:4], new[:4])
+        assert np.array_equal(stored[4:], old[4:])
+
+    def test_zero_keep_fraction_keeps_one_byte(self, rng):
+        array = fresh_array(rng)
+        old = array.read(0, 0).copy()
+        attach(array, torn_writes=(TornWrite(op=0, keep_fraction=0.0),))
+        array.write(0, 0, old ^ 0xFF)
+        stored = array.read(0, 0)
+        assert stored[0] == old[0] ^ 0xFF
+        assert np.array_equal(stored[1:], old[1:])
+
+
+class TestDiskFailures:
+    def test_fires_at_op_boundary(self, rng):
+        array = fresh_array(rng)
+        plane = attach(array, disk_failures=(DiskFailureAt(op=2, disk=1),))
+        array.read(1, 0)  # op 0
+        array.read(1, 1)  # op 1
+        with pytest.raises(DiskFailure):
+            array.read(1, 2)  # boundary before op 2: disk is gone
+        assert plane.counters["disk_failures"] == 1
+        assert array.failed_disks == {1}
+
+    def test_other_disks_keep_serving(self, rng):
+        array = fresh_array(rng)
+        attach(array, disk_failures=(DiskFailureAt(op=0, disk=3),))
+        array.read(0, 0)
+
+
+class TestCrashPoints:
+    def test_crash_only_inside_crashable_sections(self, rng):
+        array = fresh_array(rng)
+        plane = attach(array, crash_at=0)
+        array.read(0, 0)  # app I/O: never crashable
+        with plane.crashable():
+            with pytest.raises(ConversionCrash):
+                array.read(0, 1)
+        assert plane.counters["crashes"] == 1
+
+    def test_crash_tear_leaves_partial_write(self, rng):
+        array = fresh_array(rng)
+        old = array.read(0, 0).copy()
+        plane = attach(array, crash_at=0, crash_tear=0.5)
+        new = old ^ 0xFF
+        with plane.crashable(), pytest.raises(ConversionCrash):
+            array.write(0, 0, new)
+        stored = array.read(0, 0)
+        assert np.array_equal(stored[:4], new[:4])
+        assert np.array_equal(stored[4:], old[4:])
+
+    def test_crash_point_barrier_counts_once(self, rng):
+        array = fresh_array(rng)
+        plane = attach(array)
+        with plane.crashable():
+            plane.crash_point("commit")
+            array.read(0, 0)
+        assert plane.crash_events_done == 2
+
+    def test_probe_and_armed_run_agree_on_numbering(self, rng):
+        def events(crash_at):
+            array = fresh_array(np.random.default_rng(0))
+            plane = FaultPlane(FaultScenario(crash_at=crash_at))
+            plane.attach(array)
+            with plane.crashable():
+                try:
+                    for b in range(4):
+                        array.read(0, b)
+                        plane.crash_point(f"b{b}")
+                except ConversionCrash:
+                    pass
+            return plane.crash_events_done
+
+        probe = events(None)
+        assert probe == 8
+        for k in range(probe):
+            assert events(k) == k
+
+
+class TestOverheadAndDetach:
+    def test_detached_array_has_no_plane(self, rng):
+        array = fresh_array(rng)
+        plane = attach(array)
+        assert array.fault_plane is plane
+        plane.detach()
+        assert array.fault_plane is None
+        array.read(0, 0)
+        assert plane.op == 0
+
+    def test_faultless_plane_is_transparent(self, rng):
+        array = fresh_array(rng)
+        mirror = BlockArray(5, 8, block_size=8)
+        mirror.restore_blocks(
+            np.repeat(np.arange(5), 8), np.tile(np.arange(8), 5),
+            array.gather_raw(np.repeat(np.arange(5), 8), np.tile(np.arange(8), 5)),
+        )
+        attach(array)
+        payload = rng.integers(0, 256, size=8, dtype=np.uint8)
+        array.write(2, 3, payload)
+        mirror.write(2, 3, payload)
+        assert np.array_equal(array.snapshot(), mirror.snapshot())
+
+    def test_snapshot_reports_outstanding_errors(self, rng):
+        array = fresh_array(rng)
+        plane = attach(array, sector_errors=(SectorError(0, 0), SectorError(1, 1)))
+        doc = plane.snapshot()
+        assert doc["outstanding_sector_errors"] == 2
+        assert doc["ops_seen"] == 0

@@ -119,6 +119,71 @@ class TestNewDiskFailure:
         assert r5.verify()
 
 
+class TestBoundaryInstants:
+    def test_failure_exactly_on_a_parity_generation_tick(self, rng):
+        """The failure instant coincides with a generation completing.
+
+        At p=5 a healthy diagonal-parity generation costs 5 ticks (4 chain
+        reads + 1 write), so tick 5.0 is exactly the boundary after the
+        first parity: the failure must apply *at* the boundary — the
+        completed parity stands, everything later runs degraded.
+        """
+        array, data = fresh(rng, groups=6)
+        mig = Code56Migrator(array, 5)
+        report = mig.convert_online(failures=[DiskFailureEvent(time=5.0, disk=1)])
+        assert report.failures_survived == 1
+        assert report.parities_generated == 6 * 4
+        assert report.degraded_reads > 0
+        r6 = mig.as_raid6()
+        r6.rebuild_disks(1)
+        assert r6.verify()
+        for lba in range(r6.capacity_blocks):
+            assert np.array_equal(r6.read(lba), data[lba])
+
+    def test_diagonal_disk_failure_at_tick_zero(self, rng):
+        """Losing the new column before any parity exists still aborts
+        cleanly — and a replacement disk restarts from scratch."""
+        array, data = fresh(rng)
+        before_r5 = array.snapshot()[:4]
+        conv = OnlineCode56Conversion(array, 5)
+        with pytest.raises(RuntimeError, match="diagonal-parity disk"):
+            conv.run([], failures=[DiskFailureEvent(time=0.0, disk=4)])
+        assert np.array_equal(array.snapshot()[:4], before_r5)
+        array.replace_disk(4)
+        retry = OnlineCode56Conversion(array, 5)
+        retry.run([])
+        assert retry.verify()
+
+    def test_failure_lands_inside_an_app_writes_rmw_window(self, rng):
+        """A write and the failure of its home disk share one timestamp.
+
+        Failure events sort before requests at equal times, so the RMW
+        runs entirely degraded: the write's home disk is already gone and
+        the update must land via reconstruct-write in the parities only.
+        """
+        array, data = fresh(rng, groups=6)
+        truth = data.copy()
+        mig = Code56Migrator(array, 5)
+        conv_probe = OnlineCode56Conversion(array, 5)
+        lba = next(
+            i for i in range(conv_probe.capacity_blocks)
+            if conv_probe.locate(i)[2] == 2
+        )
+        payload = rng.integers(0, 256, size=8, dtype=np.uint8)
+        truth[lba] = payload
+        report = mig.convert_online(
+            [OnlineRequest(time=40.0, lba=lba, is_write=True, payload=payload)],
+            failures=[DiskFailureEvent(time=40.0, disk=2)],
+        )
+        assert report.failures_survived == 1
+        r6 = mig.as_raid6()
+        r6.rebuild_disks(2)
+        assert r6.verify()
+        assert np.array_equal(r6.read(lba), payload)
+        for i in range(r6.capacity_blocks):
+            assert np.array_equal(r6.read(i), truth[i])
+
+
 class TestVerifyGuards:
     def test_verify_refuses_degraded_array(self, rng):
         array, _ = fresh(rng)

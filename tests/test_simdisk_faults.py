@@ -1,0 +1,132 @@
+"""Typed request validation and service faults in both simulator engines."""
+
+import numpy as np
+import pytest
+
+from repro.simdisk import (
+    DiskArraySimulator,
+    ServiceFaults,
+    SimRequestError,
+    get_preset,
+    simulate_closed,
+    validate_trace,
+)
+from repro.workloads import Trace
+
+
+@pytest.fixture
+def model():
+    return get_preset("sata-7200")
+
+
+def make_trace(rng, n=64, disks=4, block=None, block_size=4096, disk=None):
+    capacity_blocks = 500_000
+    return Trace(
+        arrival_ms=np.zeros(n),
+        disk=(rng.integers(0, disks, n) if disk is None
+              else np.full(n, disk)).astype(np.int32),
+        block=(rng.integers(0, capacity_blocks, n) if block is None
+               else np.full(n, block, dtype=np.int64)),
+        is_write=rng.random(n) > 0.5,
+        block_size=block_size,
+    )
+
+
+class TestRequestValidation:
+    def test_out_of_range_block_rejected_closed(self, model, rng):
+        capacity = model.cylinders * model.blocks_per_cylinder
+        trace = make_trace(rng, block=capacity)  # one past the end
+        with pytest.raises(SimRequestError) as exc:
+            simulate_closed(trace, model, n_disks=4)
+        assert "out of range" in exc.value.reason
+        assert exc.value.index == 0
+        assert exc.value.block == capacity
+
+    def test_out_of_range_block_rejected_event(self, model, rng):
+        capacity = model.cylinders * model.blocks_per_cylinder
+        trace = make_trace(rng, block=capacity)
+        with pytest.raises(SimRequestError):
+            DiskArraySimulator(model, 4).run(trace)
+
+    def test_negative_block_rejected(self, model, rng):
+        trace = make_trace(rng, block=-1)
+        with pytest.raises(SimRequestError):
+            simulate_closed(trace, model, n_disks=4)
+
+    def test_negative_size_rejected_both_engines(self, model, rng):
+        trace = make_trace(rng, block_size=-4096)
+        with pytest.raises(SimRequestError, match="size must be positive"):
+            simulate_closed(trace, model, n_disks=4)
+        with pytest.raises(SimRequestError, match="size must be positive"):
+            DiskArraySimulator(model, 4).run(trace)
+
+    def test_event_engine_rejects_disk_out_of_range(self, model, rng):
+        trace = make_trace(rng, disk=7)
+        with pytest.raises(SimRequestError, match="disk index out of range"):
+            DiskArraySimulator(model, 4).run(trace)
+
+    def test_closed_engine_ignores_unserved_disks(self, model, rng):
+        """The closed engine drops disks >= n; their blocks aren't validated."""
+        capacity = model.cylinders * model.blocks_per_cylinder
+        trace = make_trace(rng, disk=7, block=capacity)
+        res = simulate_closed(trace, model, n_disks=4)
+        assert res.makespan_ms == 0.0
+
+    def test_valid_trace_passes(self, model, rng):
+        validate_trace(make_trace(rng), model, 4, require_disk_in_range=True)
+
+
+class TestServiceFaults:
+    def test_delays_are_seed_deterministic(self):
+        faults = ServiceFaults(seed=9, transient_rate=0.2, retry_penalty_ms=5.0)
+        a, b = faults.delays_ms(100), faults.delays_ms(100)
+        assert np.array_equal(a, b)
+        assert set(np.unique(a)) <= {0.0, 5.0}
+
+    def test_zero_rate_is_free(self):
+        assert ServiceFaults(transient_rate=0.0).delays_ms(50).sum() == 0.0
+
+    def test_faults_slow_the_closed_engine(self, model, rng):
+        trace = make_trace(rng, n=200)
+        clean = simulate_closed(trace, model)
+        faults = ServiceFaults(seed=1, transient_rate=0.5, retry_penalty_ms=20.0)
+        faulty = simulate_closed(trace, model, faults=faults)
+        assert faulty.makespan_ms > clean.makespan_ms
+        assert faults.delays_ms(len(trace)).sum() > 0
+
+    def test_engines_stay_equivalent_under_faults(self, model, rng):
+        trace = make_trace(rng, n=200)
+        faults = ServiceFaults(seed=3, transient_rate=0.3, retry_penalty_ms=12.0)
+        a = simulate_closed(trace, model, faults=faults)
+        b = DiskArraySimulator(model, 4, scheduler="fcfs").run(trace, faults=faults)
+        assert a.makespan_ms == pytest.approx(b.makespan_ms)
+        assert np.allclose(a.per_disk_busy_ms, b.per_disk_busy_ms)
+
+    def test_metrics_recorded_when_observing(self, model, rng):
+        from repro.obs.metrics import get_registry
+
+        registry = get_registry()
+        registry.clear()
+        registry.enabled = True
+        try:
+            trace = make_trace(rng, n=100)
+            faults = ServiceFaults(seed=2, transient_rate=0.4)
+            simulate_closed(trace, model, faults=faults)
+            doc = registry.snapshot()
+            names = {c["name"] for c in doc["counters"]}
+            assert "simdisk.service_faults" in names
+            assert "simdisk.fault_penalty_ms" in names
+        finally:
+            registry.enabled = False
+            registry.clear()
+
+    def test_schedule_accounts_fault_time(self, model, rng):
+        from repro.simdisk import closed_request_schedule
+
+        trace = make_trace(rng, n=50)
+        faults = ServiceFaults(seed=4, transient_rate=0.5, retry_penalty_ms=8.0)
+        sched = closed_request_schedule(trace, model, faults=faults)
+        assert sched.fault_ms is not None
+        total = (sched.seek_ms + sched.rotate_ms + sched.transfer_ms
+                 + sched.fault_ms)
+        assert np.allclose(sched.start_ms + total, sched.completion_ms)

@@ -9,6 +9,7 @@ from repro.staticcheck.dataflow import analyze_program
 from repro.staticcheck.prover import prove_code
 from repro.staticcheck.selftest import (
     _copy_program,
+    crash_recovery_checks,
     mutated_layouts,
     mutated_programs,
     run_selftest,
@@ -32,9 +33,21 @@ class TestFaultCorpus:
             _checks, findings = analyze_program(plan, program)
             assert findings, f"dataflow missed: {description}"
 
+    def test_every_crash_recovery_drill_passes(self):
+        drills = crash_recovery_checks()
+        # both offline engines plus the online watermark
+        assert len(drills) == 3
+        for description, recovered in drills:
+            assert recovered, f"recovery drill failed: {description}"
+
     def test_selftest_green_on_healthy_tree(self):
         checks, findings = run_selftest()
-        assert checks == len(mutated_layouts()) + len(mutated_programs())
+        expected = (
+            len(mutated_layouts())
+            + len(mutated_programs())
+            + len(crash_recovery_checks())
+        )
+        assert checks == expected
         assert findings == []
 
 
