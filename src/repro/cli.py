@@ -91,6 +91,14 @@ def _cmd_convert(args: argparse.Namespace) -> int:
               "(positional or --code/--approach)", file=sys.stderr)
         return 2
 
+    from repro.kernels import KernelUnavailableError, set_default_kernel
+
+    try:
+        set_default_kernel(args.kernel)
+    except KernelUnavailableError as exc:
+        print(f"convert: {exc}", file=sys.stderr)
+        return 2
+
     tracer = obs.get_tracer()
     registry = obs.get_registry()
     observing = args.trace is not None or args.metrics is not None
@@ -481,6 +489,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(f"sweep: unknown workload {exc}; known: {sorted(kinds)}", file=sys.stderr)
         return 2
+    from repro.kernels import KernelUnavailableError, resolve_kernel
+
+    try:
+        resolve_kernel(args.kernel)
+    except (KernelUnavailableError, KeyError) as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
+
     spec = SweepSpec(primes=tuple(args.primes), workloads=workloads, seed=args.seed)
     n_tasks = len(spec.tasks())
     workers = args.workers if args.workers is not None else (os.cpu_count() or 1)
@@ -488,7 +504,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
           f"({len(spec.resolved_pairs())} series x {len(args.primes)} primes x "
           f"{len(workloads)} workloads), workers={workers}")
 
-    serial = run_sweep(spec, workers=0)
+    serial = run_sweep(spec, workers=0, kernel=args.kernel)
     print(f"  serial   : {serial.wall_s:8.2f}s  digest {serial.digest()[:16]}  "
           f"compiled {serial.cache['parent']['compiled']}")
 
@@ -513,13 +529,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             cache_dir = Path(tmp.name)
         try:
             cold = run_sweep(spec, workers=workers, chunksize=args.chunksize,
-                             cache_dir=cache_dir)
+                             cache_dir=cache_dir, kernel=args.kernel)
             print(f"  parallel : {cold.wall_s:8.2f}s  digest {cold.digest()[:16]}  "
                   f"compiled {cold.cache['compiled_total']}  "
                   f"(retried {cold.retried_chunks} chunks, "
                   f"{cold.fallback_tasks} tasks inline)")
             warm = run_sweep(spec, workers=workers, chunksize=args.chunksize,
-                             cache_dir=cache_dir)
+                             cache_dir=cache_dir, kernel=args.kernel)
             print(f"  warm     : {warm.wall_s:8.2f}s  digest {warm.digest()[:16]}  "
                   f"compiled {warm.cache['compiled_total']}")
         finally:
@@ -620,6 +636,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_conv.add_argument("--groups", type=int, default=None)
     p_conv.add_argument("--block-size", type=int, default=16)
     p_conv.add_argument("--seed", type=int, default=0)
+    p_conv.add_argument("--kernel", choices=["numpy", "numba", "auto"], default="auto",
+                        help="XOR kernel backend for the compiled engine's "
+                             "fused region ops (auto: numba if importable, "
+                             "else numpy)")
     p_conv.add_argument("--engine", choices=["audited", "compiled"], default="compiled",
                         help="batched compiled executor (default) or per-block audited engine")
     p_conv.add_argument("--disk", default="sata-7200",
@@ -720,6 +740,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--seed", type=int, default=0)
     p_sweep.add_argument("--chunksize", type=int, default=None,
                          help="tasks per worker dispatch (default: auto)")
+    p_sweep.add_argument("--kernel", choices=["numpy", "numba", "auto"], default="auto",
+                         help="XOR kernel backend in every worker process "
+                              "(results are kernel-invariant byte-for-byte)")
     p_sweep.add_argument("--cache-dir", default=None, metavar="PATH",
                          help="persistent compiled-program cache directory "
                               "(default: fresh temp dir per invocation)")

@@ -11,10 +11,12 @@ engine at a fraction of the wall time.  ``assemble_all_groups`` /
 """
 
 from repro.compiled.compiler import (
+    LOWERING_VERSION,
     PROGRAM_CACHE_VERSION,
     UnsupportedPlanError,
     clear_program_cache,
     compile_plan,
+    lower_program,
     plan_cache_key,
     program_cache_dir,
     program_cache_file,
@@ -22,13 +24,25 @@ from repro.compiled.compiler import (
     set_program_cache_dir,
 )
 from repro.compiled.executor import execute_compiled, execute_plan_compiled
-from repro.compiled.program import CompiledPlan, PhaseProgram
+from repro.compiled.program import (
+    CompiledPlan,
+    FusedPhase,
+    PhaseProgram,
+    RegionOp,
+    RegionTerm,
+    SparseTerm,
+)
 from repro.compiled.recovery import assemble_all_groups, batch_recover_columns
 
 __all__ = [
     "CompiledPlan",
+    "FusedPhase",
+    "LOWERING_VERSION",
     "PROGRAM_CACHE_VERSION",
     "PhaseProgram",
+    "RegionOp",
+    "RegionTerm",
+    "SparseTerm",
     "UnsupportedPlanError",
     "assemble_all_groups",
     "batch_recover_columns",
@@ -36,6 +50,7 @@ __all__ = [
     "compile_plan",
     "execute_compiled",
     "execute_plan_compiled",
+    "lower_program",
     "plan_cache_key",
     "program_cache_dir",
     "program_cache_file",

@@ -43,6 +43,7 @@ Two cache tiers share that key:
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import os
@@ -52,15 +53,25 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.compiled.program import CompiledPlan, PhaseProgram
+from repro.codes.base import ArrayCode
+from repro.compiled.program import (
+    CompiledPlan,
+    FusedPhase,
+    PhaseProgram,
+    RegionOp,
+    RegionTerm,
+    SparseTerm,
+)
 from repro.migration.plan import ConversionPlan, GroupWork
 
 __all__ = [
     "UnsupportedPlanError",
     "compile_plan",
+    "lower_program",
     "clear_program_cache",
     "program_cache_info",
     "PROGRAM_CACHE_VERSION",
+    "LOWERING_VERSION",
     "set_program_cache_dir",
     "program_cache_dir",
     "program_cache_file",
@@ -78,6 +89,15 @@ _MIGRATE, _NULL, _TRIM, _PARITY = range(4)
 #: bump when the compiled-program layout changes; old cache files then
 #: hash to different names and are recompiled, not misread
 PROGRAM_CACHE_VERSION = 1
+
+#: bump when the region-fusion pass changes.  The fused IR is derived
+#: deterministically from the phase vectors and never serialised, but
+#: the version participates in the cache digest so a lowering change
+#: invalidates persistent entries wholesale (a clean recompile beats
+#: debugging a stale program whose re-derived fusion disagrees with the
+#: vectors that produced it).  The *kernel backend* is deliberately NOT
+#: part of the key: every backend executes the same lowered program.
+LOWERING_VERSION = 1
 
 _CACHE: dict[tuple, CompiledPlan] = {}
 #: module-lifetime cache outcomes (mirrored into the repro.obs registry
@@ -165,7 +185,9 @@ def program_cache_file(key: tuple) -> Path | None:
     if _DISK_CACHE_DIR is None:
         return None
     digest = hashlib.sha256(
-        json.dumps([PROGRAM_CACHE_VERSION, _key_json(key)], sort_keys=True).encode()
+        json.dumps(
+            [PROGRAM_CACHE_VERSION, LOWERING_VERSION, _key_json(key)], sort_keys=True
+        ).encode()
     ).hexdigest()
     return _DISK_CACHE_DIR / f"{key[0]}-{key[1]}-p{key[2]}-{digest[:32]}.npz"
 
@@ -233,6 +255,7 @@ def compile_plan(plan: ConversionPlan, use_cache: bool = True) -> CompiledPlan:
         program = _load_program_from_disk(disk_path, key, plan)
         if program is not None:
             _CACHE_STATS["disk_hits"] += 1
+            program = lower_program(program)
             _CACHE[key] = program
             return program
         _CACHE_STATS["disk_errors"] += 1
@@ -252,10 +275,12 @@ def compile_plan(plan: ConversionPlan, use_cache: bool = True) -> CompiledPlan:
         blocks_per_disk=plan.blocks_per_disk,
         phases=phases,
     )
+    if use_cache and disk_path is not None:
+        # persist the raw index vectors only; the fused IR is re-derived
+        _store_program_to_disk(disk_path, program)
+    program = lower_program(program)
     if use_cache:
         _CACHE[key] = program
-        if disk_path is not None:
-            _store_program_to_disk(disk_path, program)
     return program
 
 
@@ -413,3 +438,144 @@ def _check_hazards(
             raise UnsupportedPlanError(
                 f"reused-parity audit location {loc} is written in the same phase"
             )
+
+
+# --------------------------------------------------------------------------
+# region-fusion lowering: stripe-tensor encode -> kernel-backend RegionOps
+# --------------------------------------------------------------------------
+#
+# The stripe-tensor path gathers every read/fill into a (batch, rows,
+# cols, block) tensor, runs ArrayCode.encode, and scatters the parities
+# back — two full copies of the working set before any XOR happens.  The
+# fusion pass removes both: the stripe value of any cell is, by
+# construction, the physical block its slot reads/fills (or zero), so
+# each parity chain can be computed for all groups at once by XOR-ing
+# *views of the block store directly* into a (batch, block) destination.
+# The per-slot source addresses of one member almost always form an
+# arithmetic sequence (groups own evenly spaced block rows), so the
+# operand is a zero-copy strided view; irregular members degrade to a
+# gather and partially-sourced members to a scatter_xor, never to a
+# wrong answer.  Chains whose parity feeds a later chain are computed in
+# encode order and referenced from the scratch buffer, mirroring
+# encode's dependency order exactly.
+
+
+def lower_program(program: CompiledPlan) -> CompiledPlan:
+    """Attach the fused region-op IR to every phase of ``program``.
+
+    Fusion replays :meth:`ArrayCode.encode` symbolically, so it is only
+    valid for codes using the stock chain-walk encode; a subclass with a
+    custom ``encode`` keeps ``fused=None`` and runs the tensor path.
+    Phases that cannot be lowered (no parity work, or a shape the pass
+    does not model) also keep ``fused=None`` — lowering never fails, it
+    degrades.
+    """
+    if type(program.code).encode is not ArrayCode.encode:
+        return program
+    phases = tuple(
+        dataclasses.replace(
+            ph, fused=_lower_phase(ph, program.code, program.n_disks, program.blocks_per_disk)
+        )
+        for ph in program.phases
+    )
+    return dataclasses.replace(program, phases=phases)
+
+
+def _classify_member(phys: np.ndarray) -> tuple[RegionTerm | None, SparseTerm | None]:
+    """One member's per-slot physical addresses -> a term (``-1`` = the
+    slot does not source the cell, i.e. its stripe value is zero)."""
+    present = phys >= 0
+    if not present.any():
+        return None, None  # all-zero member: contributes nothing
+    if not present.all():
+        rows = np.flatnonzero(present).astype(np.intp)
+        return None, SparseTerm(rows=rows, indices=phys[present].astype(np.intp))
+    if phys.size == 1:
+        return RegionTerm(kind="const", start=int(phys[0])), None
+    steps = np.diff(phys)
+    if (steps == steps[0]).all():
+        step = int(steps[0])
+        if step == 0:
+            return RegionTerm(kind="const", start=int(phys[0])), None
+        return RegionTerm(kind="stride", start=int(phys[0]), step=step), None
+    return RegionTerm(kind="gather", indices=phys.astype(np.intp)), None
+
+
+def _lower_phase(
+    ph: PhaseProgram, code: ArrayCode, n_disks: int, bpd: int
+) -> FusedPhase | None:
+    if ph.batch == 0 or (ph.parity_cell.size == 0 and ph.check_cell.size == 0):
+        return None
+    layout = code.layout
+    rows, cols = layout.rows, layout.cols
+    cps = rows * cols  # cells per slot
+    batch = ph.batch
+
+    # stripe-cell sources: src[template, slot] = flat block id (or -1 = zero)
+    src = np.full((cps, batch), -1, dtype=np.int64)
+    for cell_v, disk_v, block_v in (
+        (ph.read_cell, ph.read_disk, ph.read_block),
+        (ph.fill_cell, ph.fill_disk, ph.fill_block),
+    ):
+        if cell_v.size:
+            src[cell_v % cps, cell_v // cps] = disk_v * bpd + block_v
+
+    # chains whose output the phase writes or audits, plus (transitively)
+    # the chains those reference as members — in encode order
+    out_templates = set((ph.parity_cell % cps).tolist()) | set((ph.check_cell % cps).tolist())
+    virtual = layout.virtual_cells
+    parity_cells = layout.parity_cells
+    member_needs: set[tuple[int, int]] = set()
+    needed: list = []
+    for chain in reversed(layout.encode_order):
+        if chain.parity in virtual:
+            continue
+        if chain.parity[0] * cols + chain.parity[1] in out_templates or chain.parity in member_needs:
+            needed.append(chain)
+            for m in chain.members:
+                if m in parity_cells and m not in virtual:
+                    member_needs.add(m)
+    needed.reverse()
+    ci_of = {chain.parity: ci for ci, chain in enumerate(needed)}
+
+    ops = []
+    for ci, chain in enumerate(needed):
+        terms: list[RegionTerm] = []
+        sparse: list[SparseTerm] = []
+        for m in chain.members:
+            if m in virtual:
+                continue  # encode skips virtual members (always zero)
+            if m in parity_cells:
+                terms.append(RegionTerm(kind="ref", ref=ci_of[m]))
+                continue
+            term, sp = _classify_member(src[m[0] * cols + m[1]])
+            if term is not None:
+                terms.append(term)
+            if sp is not None:
+                sparse.append(sp)
+        ops.append(
+            RegionOp(chain_index=ci, parity=chain.parity, terms=tuple(terms), sparse=tuple(sparse))
+        )
+
+    def scratch_rows(cell_v: np.ndarray) -> np.ndarray | None:
+        out = np.empty(cell_v.size, dtype=np.intp)
+        for i, cell in enumerate(cell_v):
+            tmpl = int(cell) % cps
+            ci = ci_of.get((tmpl // cols, tmpl % cols))
+            if ci is None:  # a parity/check cell with no chain: not lowerable
+                return None
+            out[i] = ci * batch + int(cell) // cps
+        return out
+
+    parity_src = scratch_rows(ph.parity_cell)
+    check_src = scratch_rows(ph.check_cell)
+    if parity_src is None or check_src is None:
+        return None
+    return FusedPhase(
+        n_chains=len(needed),
+        batch=batch,
+        ops=tuple(ops),
+        parity_src=parity_src,
+        check_src=check_src,
+        read_credit=np.bincount(ph.read_disk, minlength=n_disks).astype(np.int64),
+    )

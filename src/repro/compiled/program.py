@@ -20,11 +20,95 @@ import numpy as np
 
 from repro.codes.base import ArrayCode
 
-__all__ = ["PhaseProgram", "CompiledPlan"]
+__all__ = [
+    "RegionTerm",
+    "SparseTerm",
+    "RegionOp",
+    "FusedPhase",
+    "PhaseProgram",
+    "CompiledPlan",
+]
 
 
 def _empty() -> np.ndarray:
     return np.zeros(0, dtype=np.intp)
+
+
+# ---------------------------------------------------------------------------
+# fused region-reduction IR (the lowering pass's output; see
+# repro.compiled.compiler.lower_program)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RegionTerm:
+    """One full-height operand of a :class:`RegionOp`.
+
+    Kinds address the flat block store ``store[disk * bpd + block]``:
+
+    * ``stride`` — slots read an arithmetic sequence of block addresses;
+      executes as the zero-copy view ``store[start::step][:batch]``.
+    * ``const`` — every slot reads the same block; a one-row broadcast.
+    * ``gather`` — irregular addresses; ``indices`` holds one flat block
+      id per slot (the only kind that still copies its operand).
+    * ``ref`` — the output of earlier chain ``ref`` in the same phase's
+      scratch buffer (a parity used as a member of a later chain).
+    """
+
+    kind: str
+    start: int = 0
+    step: int = 0
+    indices: np.ndarray | None = None
+    ref: int = -1
+
+
+@dataclass(frozen=True)
+class SparseTerm:
+    """A partial-height operand: only ``rows`` of the destination get a
+    contribution (``dst[rows[i]] ^= store[indices[i]]``), the other slots
+    see the implicit zero of an absent stripe cell.  Executed with
+    :meth:`~repro.kernels.base.XorKernel.scatter_xor`.
+    """
+
+    rows: np.ndarray
+    indices: np.ndarray
+
+
+@dataclass(frozen=True)
+class RegionOp:
+    """One parity chain for every group of the phase, as a region reduction.
+
+    Writes rows ``[chain_index * batch, (chain_index + 1) * batch)`` of
+    the phase scratch buffer with the XOR of all ``terms`` (and then the
+    ``sparse`` remainders).  ``parity`` is the stripe cell the chain
+    computes — carried for the staticcheck cross-validation, not needed
+    at execution time.
+    """
+
+    chain_index: int
+    parity: tuple[int, int]
+    terms: tuple[RegionTerm, ...]
+    sparse: tuple[SparseTerm, ...]
+
+
+@dataclass(frozen=True)
+class FusedPhase:
+    """A phase's parity work lowered to kernel-backend region ops.
+
+    ``parity_src`` / ``check_src`` map the program's ``parity_*`` /
+    ``check_*`` vectors (same order) to rows of the ``(n_chains * batch,
+    block)`` scratch buffer; ``read_credit`` is the per-disk read count
+    the classic path would have performed with
+    :meth:`~repro.raid.array.BlockArray.read_blocks` (the fused path
+    views the store in place and credits the same I/O).
+    """
+
+    n_chains: int
+    batch: int
+    ops: tuple[RegionOp, ...]
+    parity_src: np.ndarray
+    check_src: np.ndarray
+    read_credit: np.ndarray
 
 
 @dataclass(frozen=True)
@@ -67,6 +151,10 @@ class PhaseProgram:
     check_disk: np.ndarray = field(default_factory=_empty)
     check_block: np.ndarray = field(default_factory=_empty)
     check_cell: np.ndarray = field(default_factory=_empty)
+    #: kernel-backend lowering of the parity work (None: not lowered —
+    #: executor uses the stripe-tensor path); derived from the vectors
+    #: above, so it is never serialised, always recomputed
+    fused: FusedPhase | None = None
 
 
 @dataclass(frozen=True)

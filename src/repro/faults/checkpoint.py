@@ -146,8 +146,15 @@ def _run_phase_checkpointed(program, ph, array: BlockArray, reader) -> None:
     Mirrors :func:`repro.compiled.executor._run_phase` bulk for bulk (so
     healthy runs land on identical bytes and counters) but lives here —
     outside the hot-path modules — because its recovery fallbacks are
-    per-block by nature.
+    per-block by nature.  When the phase is lowered and nothing observes
+    the counted read path (no fault plane, no failed disks — e.g. a
+    resume after the crashing plane is detached), the parity work
+    delegates to the executor's fused kernel path; any attached plane or
+    failure keeps the shadow stripe-tensor path below, whose fallbacks
+    the recovery machinery needs.
     """
+    from repro.compiled import executor as _executor
+
     code = program.code
     if ph.migrate_src_disk.size:
         payload = _bulk_read_recovering(array, reader, ph.migrate_src_disk, ph.migrate_src_block)
@@ -157,6 +164,11 @@ def _run_phase_checkpointed(program, ph, array: BlockArray, reader) -> None:
     if ph.trim_disk.size:
         array.trim_blocks(ph.trim_disk, ph.trim_block)
     if ph.batch == 0:
+        return
+    if ph.fused is not None and _executor._fused_usable(array):
+        _executor._run_phase_fused(
+            program, ph, ph.fused, array, _executor.resolve_kernel()
+        )
         return
     stripes = np.zeros((ph.batch, code.rows, code.cols, array.block_size), dtype=np.uint8)
     flat = stripes.reshape(-1, array.block_size)

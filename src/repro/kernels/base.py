@@ -1,0 +1,87 @@
+"""The :class:`XorKernel` backend interface.
+
+All parity arithmetic in this library is XOR over uint8 regions.  The
+compiled engine lowers conversion phases into *region reduction ops*
+(:class:`~repro.compiled.program.RegionOp`) whose byte work is exactly
+two primitives:
+
+* :meth:`XorKernel.region_xor_reduce` — ``dst = src0 ^ src1 ^ ...`` (or
+  ``dst ^= ...``) over equally shaped ``(rows, block)`` regions, where
+  sources are typically zero-copy strided views of the
+  :class:`~repro.raid.array.BlockArray` store;
+* :meth:`XorKernel.scatter_xor` — ``dst[rows] ^= payload`` for the
+  sparse remainder that does not coalesce into a strided region.
+
+A backend implements those two methods and nothing else; everything
+above the seam (lowering, hazard analysis, I/O accounting, fault
+semantics) is backend-independent, so the same verified program runs on
+any tier.  Backends advertise themselves through
+:meth:`XorKernel.is_available` / :meth:`XorKernel.capabilities` and the
+registry (:mod:`repro.kernels.registry`) picks one by name or ``auto``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["XorKernel", "KernelUnavailableError"]
+
+
+class KernelUnavailableError(RuntimeError):
+    """The requested backend cannot run on this host (missing dependency)."""
+
+
+class XorKernel(ABC):
+    """One XOR execution tier.
+
+    Instances are stateless and shared; both methods must be
+    deterministic and byte-exact (XOR is associative and commutative, so
+    any evaluation order produces identical bytes — backends may tile or
+    parallelise freely).
+    """
+
+    #: registry name (``numpy``, ``numba``, ...)
+    name: str = "abstract"
+
+    # ------------------------------------------------------------ probing
+    @classmethod
+    def is_available(cls) -> bool:
+        """True when the backend can execute on this host."""
+        return True
+
+    @classmethod
+    def capabilities(cls) -> dict:
+        """Describe the tier (JSON-safe; surfaced by ``kernel_info``)."""
+        return {"name": cls.name, "available": cls.is_available()}
+
+    # ---------------------------------------------------------- primitives
+    @abstractmethod
+    def region_xor_reduce(
+        self,
+        dst: np.ndarray,
+        sources: Sequence[np.ndarray],
+        init: bool = True,
+    ) -> None:
+        """XOR-reduce ``sources`` into ``dst`` (all ``(rows, block)`` uint8).
+
+        ``init=True`` overwrites ``dst`` with the reduction of
+        ``sources`` (an empty sequence zeroes it); ``init=False``
+        accumulates ``dst ^= src`` for every source.  Sources may be
+        non-contiguous strided views or broadcast rows; ``dst`` is always
+        a writable C-contiguous region and never aliases a source.
+        """
+
+    @abstractmethod
+    def scatter_xor(self, dst: np.ndarray, rows: np.ndarray, payload: np.ndarray) -> None:
+        """Sparse accumulate: ``dst[rows[i]] ^= payload[i]`` for each i.
+
+        ``rows`` contains unique indices (one term contributes at most
+        once per destination row), so no read-modify-write collision
+        handling is required.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<XorKernel {self.name}>"

@@ -1,0 +1,112 @@
+"""Kernel backend registry and selection.
+
+Backends register a class under a short name; callers resolve one with
+:func:`get_kernel` (exact name, raises if the tier cannot run here) or
+:func:`resolve_kernel` (accepts ``auto`` — the fastest available tier,
+currently numba when importable, else numpy).  A process-wide default,
+settable via :func:`set_default_kernel`, lets the CLI and sweep worker
+initialisers pick the tier once and have every executor call inherit it.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.base import KernelUnavailableError, XorKernel
+from repro.kernels.numba_backend import NumbaXorKernel
+from repro.kernels.numpy_backend import NumpyXorKernel
+
+__all__ = [
+    "register_kernel",
+    "get_kernel",
+    "resolve_kernel",
+    "available_kernels",
+    "kernel_info",
+    "set_default_kernel",
+    "get_default_kernel",
+    "KERNEL_CHOICES",
+]
+
+_REGISTRY: dict[str, type[XorKernel]] = {}
+_INSTANCES: dict[str, XorKernel] = {}
+
+#: preference order for ``auto`` (first available wins)
+_AUTO_ORDER = ("numba", "numpy")
+
+#: what the CLI exposes
+KERNEL_CHOICES = ("numpy", "numba", "auto")
+
+_DEFAULT_NAME = "auto"
+
+
+def register_kernel(cls: type[XorKernel]) -> type[XorKernel]:
+    """Register a backend class (usable as a decorator)."""
+    if not cls.name or cls.name == "abstract":
+        raise ValueError("kernel backends must set a concrete name")
+    _REGISTRY[cls.name] = cls
+    _INSTANCES.pop(cls.name, None)
+    return cls
+
+
+def get_kernel(name: str) -> XorKernel:
+    """Instantiate (and cache) the backend registered under ``name``."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel backend {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+    if not cls.is_available():
+        raise KernelUnavailableError(
+            f"kernel backend {name!r} is registered but not available on this host"
+        )
+    inst = _INSTANCES.get(name)
+    if inst is None:
+        inst = _INSTANCES[name] = cls()
+    return inst
+
+
+def resolve_kernel(name: str | None = None) -> XorKernel:
+    """Resolve ``name`` (or the process default) to a live backend.
+
+    ``auto`` / ``None`` walks the preference order and returns the first
+    available tier; numpy is always available so resolution never fails
+    for ``auto``.
+    """
+    if name is None:
+        name = _DEFAULT_NAME
+    if name == "auto":
+        for candidate in _AUTO_ORDER:
+            cls = _REGISTRY.get(candidate)
+            if cls is not None and cls.is_available():
+                return get_kernel(candidate)
+        raise KernelUnavailableError("no kernel backend is available")
+    return get_kernel(name)
+
+
+def available_kernels() -> list[str]:
+    """Names of registered backends that can run on this host."""
+    return [name for name, cls in sorted(_REGISTRY.items()) if cls.is_available()]
+
+
+def kernel_info() -> dict[str, dict]:
+    """Capability report for every registered backend."""
+    return {name: cls.capabilities() for name, cls in sorted(_REGISTRY.items())}
+
+
+def set_default_kernel(name: str) -> None:
+    """Set the process-wide default tier (``auto`` or a backend name).
+
+    Validates eagerly so misconfiguration surfaces at selection time,
+    not at the first hot-path dispatch.
+    """
+    global _DEFAULT_NAME
+    resolve_kernel(name)
+    _DEFAULT_NAME = name
+
+
+def get_default_kernel() -> str:
+    """The current process-wide default tier name."""
+    return _DEFAULT_NAME
+
+
+register_kernel(NumpyXorKernel)
+register_kernel(NumbaXorKernel)

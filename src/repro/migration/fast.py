@@ -15,7 +15,8 @@ stream large extents; this module is that fast path for the direct
 Code 5-6 migration: every stripe-group's diagonal parities are computed
 in one batched XOR reduction per chain (shape ``(groups, block)`` per
 cell), touching each disk with bulk array slices obtained through the
-public :meth:`BlockArray.bulk_view` API and credited through
+public :meth:`BlockArray.bulk_view` API, reduced through the selected
+:class:`~repro.kernels.base.XorKernel` backend, and credited through
 :meth:`BlockArray.credit_ios`.
 """
 
@@ -26,19 +27,26 @@ import warnings
 import numpy as np
 
 from repro.codes.code56 import diagonal_chain_cells
+from repro.kernels import XorKernel, resolve_kernel
 from repro.raid.array import BlockArray
 
 __all__ = ["fast_convert_code56"]
 
 
-def fast_convert_code56(array: BlockArray, p: int, groups: int | None = None) -> int:
+def fast_convert_code56(
+    array: BlockArray,
+    p: int,
+    groups: int | None = None,
+    kernel: XorKernel | str | None = None,
+) -> int:
     """Directly convert a left-asymmetric RAID-5 of ``p-1`` disks in bulk.
 
     The array must already have the hot-added blank disk ``p-1``.
     Returns the number of parity blocks written.  I/O counters are
     credited with the same per-block totals the audited engine performs
     (``(p-1)(p-2)`` reads per group on the data disks, ``p-1`` writes on
-    the new disk).
+    the new disk).  ``kernel`` selects the XOR backend (instance,
+    registry name, or None for the process default).
 
     .. deprecated:: see module docstring — prefer
         :func:`repro.compiled.execute_plan_compiled`.
@@ -58,6 +66,9 @@ def fast_convert_code56(array: BlockArray, p: int, groups: int | None = None) ->
     if groups * rows > array.blocks_per_disk:
         raise ValueError("array too small for the requested groups")
 
+    if not isinstance(kernel, XorKernel):
+        kernel = resolve_kernel(kernel)
+
     # Bulk view of the square region: (disk, group, row, block)
     # array storage is (disk, block, bs) with block = g*rows + r.
     bs = array.block_size
@@ -68,10 +79,9 @@ def fast_convert_code56(array: BlockArray, p: int, groups: int | None = None) ->
     written = 0
     for parity_row in range(rows):
         chain = diagonal_chain_cells(p, parity_row)
-        acc = out[:, parity_row, :]
-        acc[...] = 0
-        for r, c in chain:
-            np.bitwise_xor(acc, region[c, :, r, :], out=acc)
+        kernel.region_xor_reduce(
+            out[:, parity_row, :], [region[c, :, r, :] for r, c in chain], init=True
+        )
         written += groups
 
     # credit the counters with the per-block equivalents

@@ -26,7 +26,15 @@ a location written in phase ``k-1`` is always correctly sequenced):
   bounds — two stripe cells sharing a physical block can never verify;
 * **SC-D005** program fidelity: the compiled index program performs
   exactly the plan's operation multiset (nothing dropped, duplicated,
-  or retargeted) with every index in bounds and cell roles preserved.
+  or retargeted) with every index in bounds and cell roles preserved;
+* **SC-D006** fusion fidelity: each phase's fused region ops (the
+  kernel-backend lowering) expand — term by term, ``ref`` chains
+  resolved transitively — to exactly the multiset of physical source
+  blocks that a symbolic replay of the unfused stripe-tensor path
+  (assembly from the read/fill vectors, then the stock chain-walk
+  encode) XORs into every parity/check output, with ``parity_src`` /
+  ``check_src`` addressing the scratch rows the cell vectors name and
+  ``read_credit`` equal to the classic path's counted read traffic.
 
 Separately, :func:`check_online_lost_writes` drives the *online*
 converter (Algorithm 2) through every (write-address, conversion-
@@ -47,6 +55,7 @@ from repro.staticcheck.report import Finding
 __all__ = [
     "analyze_plan",
     "analyze_program",
+    "analyze_fused",
     "analyze_conversion",
     "check_online_lost_writes",
     "run_dataflow",
@@ -424,19 +433,194 @@ def analyze_program(plan: ConversionPlan, program) -> tuple[int, list[Finding]]:
     return checks, findings
 
 
+def analyze_fused(plan: ConversionPlan, program) -> tuple[int, list[Finding]]:
+    """SC-D006: the fused region ops *are* the stripe-tensor encode.
+
+    The lowering pass (:func:`repro.compiled.compiler.lower_program`)
+    replays the encode symbolically to build each phase's
+    :class:`~repro.compiled.program.FusedPhase`.  This checker validates
+    that IR independently: it expands every region op back to per-slot
+    multisets of flat physical block ids (``stride`` / ``const`` /
+    ``gather`` terms from their address arithmetic, ``sparse`` rows from
+    their scatter lists, ``ref`` terms by substituting the referenced
+    chain's own expansion) and compares them against the multisets a
+    symbolic replay of the *unfused* program produces — stripe assembly
+    from the read/fill index vectors, then the stock chain-walk encode
+    over ``layout.encode_order``.  A lowering bug that drops, duplicates
+    or retargets even one block of one slot breaks multiset equality.
+
+    Also discharged per fused phase: ``parity_src`` / ``check_src``
+    address exactly the (chain, slot) scratch rows the program's cell
+    vectors name, every expanded block id is in bounds, ``ref`` terms
+    only point at already-computed chains, and ``read_credit`` equals
+    ``bincount(read_disk)`` — the counted traffic the classic path
+    would have performed.
+    """
+    layout: CodeLayout = plan.code.layout
+    rows, cols = layout.rows, layout.cols
+    cps = rows * cols
+    bpd = plan.blocks_per_disk
+    n_blocks = plan.n * bpd
+    where = _label(plan)
+    findings: list[Finding] = []
+    checks = 0
+
+    def flag(message: str) -> None:
+        findings.append(
+            Finding(analyzer="dataflow", rule="SC-D006", location=where, message=message)
+        )
+
+    for ph in program.phases:
+        fz = ph.fused
+        if fz is None:
+            continue  # not lowered: the executor runs the tensor path
+        checks += 1
+        if fz.batch != ph.batch:
+            flag(f"phase {ph.phase}: fused batch {fz.batch} != program batch {ph.batch}")
+            continue
+        batch = ph.batch
+
+        # ---- reference: symbolic stripe assembly + chain-walk encode
+        src: dict[tuple[int, int], int] = {}  # (slot, template cell) -> block id
+        for cell_v, disk_v, block_v in (
+            (ph.read_cell, ph.read_disk, ph.read_block),
+            (ph.fill_cell, ph.fill_disk, ph.fill_block),
+        ):
+            for cell, d, b in zip(cell_v.tolist(), disk_v.tolist(), block_v.tolist()):
+                src[(cell // cps, cell % cps)] = d * bpd + b
+        ref_exp: dict[tuple[int, tuple[int, int]], Counter] = {}
+        for chain in layout.encode_order:
+            if chain.parity in layout.virtual_cells:
+                continue
+            for slot in range(batch):
+                acc: Counter = Counter()
+                for m in chain.members:
+                    if m in layout.virtual_cells:
+                        continue
+                    if m in layout.parity_cells:
+                        acc.update(ref_exp[(slot, m)])
+                    else:
+                        blk = src.get((slot, m[0] * cols + m[1]))
+                        if blk is not None:
+                            acc[blk] += 1
+                ref_exp[(slot, chain.parity)] = acc
+
+        # ---- independent expansion of the fused region ops
+        fz_exp: dict[tuple[int, int], Counter] = {}  # (slot, chain_index) -> Counter
+        parity_of: dict[int, tuple[int, int]] = {}
+        for op in fz.ops:
+            checks += 1
+            if op.chain_index in parity_of:
+                flag(f"phase {ph.phase}: chain index {op.chain_index} appears twice")
+                continue
+            parity_of[op.chain_index] = op.parity
+            broken = False
+            for slot in range(batch):
+                acc = Counter()
+                for t in op.terms:
+                    if t.kind == "stride":
+                        acc[t.start + slot * t.step] += 1
+                    elif t.kind == "const":
+                        acc[t.start] += 1
+                    elif t.kind == "gather":
+                        acc[int(t.indices[slot])] += 1
+                    elif t.kind == "ref":
+                        prev = fz_exp.get((slot, t.ref))
+                        if prev is None:
+                            flag(
+                                f"phase {ph.phase}: chain {op.chain_index} references "
+                                f"chain {t.ref}, which is not computed before it"
+                            )
+                            broken = True
+                            break
+                        acc.update(prev)
+                    else:
+                        flag(f"phase {ph.phase}: unknown term kind {t.kind!r}")
+                        broken = True
+                        break
+                if broken:
+                    break
+                for sp in op.sparse:
+                    for j in np.flatnonzero(sp.rows == slot):
+                        acc[int(sp.indices[j])] += 1
+                bad = [b for b in acc if not 0 <= b < n_blocks]
+                if bad:
+                    flag(
+                        f"phase {ph.phase}: chain {op.chain_index} slot {slot} "
+                        f"sources out-of-bounds block id(s) {sorted(bad)[:4]}"
+                    )
+                    broken = True
+                    break
+                fz_exp[(slot, op.chain_index)] = acc
+            if broken:
+                parity_of.pop(op.chain_index, None)
+
+        # ---- outputs: scratch-row mapping + multiset equality
+        for name, cell_v, src_rows in (
+            ("parity", ph.parity_cell, fz.parity_src),
+            ("check", ph.check_cell, fz.check_src),
+        ):
+            checks += 1
+            if src_rows.shape[0] != cell_v.shape[0]:
+                flag(
+                    f"phase {ph.phase}: {name}_src has {src_rows.shape[0]} rows "
+                    f"for {cell_v.shape[0]} {name} cells"
+                )
+                continue
+            for i in range(cell_v.size):
+                checks += 1
+                slot, tmpl = divmod(int(cell_v[i]), cps)
+                cell = (tmpl // cols, tmpl % cols)
+                ci, row_slot = divmod(int(src_rows[i]), batch)
+                if row_slot != slot or parity_of.get(ci) != cell:
+                    flag(
+                        f"phase {ph.phase}: {name}_src[{i}] addresses chain "
+                        f"{parity_of.get(ci)} slot {row_slot}, but the program's "
+                        f"{name} cell is {cell} slot {slot}"
+                    )
+                    continue
+                got = fz_exp.get((slot, ci))
+                want = ref_exp.get((slot, cell))
+                if got != want:
+                    missing = (want or Counter()) - (got or Counter())
+                    extra = (got or Counter()) - (want or Counter())
+                    flag(
+                        f"phase {ph.phase}: fused {name} {cell} slot {slot} XORs "
+                        f"the wrong blocks (missing {sorted(missing.elements())[:4]}, "
+                        f"extra {sorted(extra.elements())[:4]})"
+                    )
+
+        # ---- counter fidelity of the bypassed read path
+        checks += 1
+        expect_credit = np.bincount(ph.read_disk, minlength=plan.n)
+        if fz.read_credit.shape != expect_credit.shape or not np.array_equal(
+            fz.read_credit, expect_credit
+        ):
+            flag(
+                f"phase {ph.phase}: read_credit {fz.read_credit.tolist()} != "
+                f"counted stripe reads {expect_credit.tolist()} — fused I/O "
+                "accounting would drift from the audited engine"
+            )
+    return checks, findings
+
+
 def analyze_conversion(
     code_name: str, approach: str, p: int, groups: int | None = None
 ) -> tuple[int, list[Finding]]:
-    """Build the (code, approach, p) plan + program and analyze both."""
+    """Build the (code, approach, p) plan + program and analyze all three
+    layers: the plan (SC-D001..4), the index program (SC-D005), and the
+    fused region-op lowering (SC-D006)."""
     from repro.compiled.compiler import compile_plan
     from repro.migration.approaches import alignment_cycle, build_plan
 
     if groups is None:
         groups = alignment_cycle(code_name, p, None)
     plan = build_plan(code_name, approach, p, groups=groups)
+    program = compile_plan(plan)
     checks, findings = analyze_plan(plan)
-    c2, f2 = analyze_program(plan, compile_plan(plan))
-    return checks + c2, findings + f2
+    c2, f2 = analyze_program(plan, program)
+    c3, f3 = analyze_fused(plan, program)
+    return checks + c2 + c3, findings + f2 + f3
 
 
 def check_online_lost_writes(

@@ -19,6 +19,14 @@ invariant earlier PRs fought for:
   memory and the resource-tracker workarounds live behind one audited
   boundary; a stray ``import multiprocessing`` elsewhere bypasses the
   sweep runner's determinism and cleanup guarantees.
+* **SC-L005** — no direct ``np.bitwise_xor`` (nor the ``xor_reduce`` /
+  ``xor_into`` helpers) on ``BlockArray`` storage outside
+  ``repro.kernels``.  A function-local taint pass marks every value
+  derived from ``bulk_view`` / ``gather_raw`` (the bulk storage
+  accessors) and flags XOR calls touching tainted data: hot-path XOR on
+  the store must go through an :class:`~repro.kernels.base.XorKernel`
+  backend, or backend selection, instrumentation and the numba path are
+  silently bypassed.
 
 The rules operate purely on the AST — no imports of the linted modules
 — so a syntax-level violation is caught even in code that is never
@@ -62,14 +70,23 @@ _MP_MODULES = frozenset({"multiprocessing", "concurrent.futures"})
 #: the one package allowed to spawn processes / map shared memory
 _MP_ALLOWED_PREFIX = "sweep/"
 
+#: bulk storage accessors whose results are BlockArray storage (taint roots)
+_STORAGE_ACCESSORS = frozenset({"bulk_view", "gather_raw"})
+#: XOR entry points that must not touch tainted storage directly
+_XOR_CALLS = frozenset({"bitwise_xor", "xor_reduce", "xor_into"})
+#: the one package whose job is XORing the store
+_XOR_ALLOWED_PREFIX = "kernels/"
+
 #: rules evaluated per file (the per-file check count)
-RULES = ("SC-L001", "SC-L002", "SC-L003", "SC-L004")
+RULES = ("SC-L001", "SC-L002", "SC-L003", "SC-L004", "SC-L005")
 
 
 class _Linter(ast.NodeVisitor):
     def __init__(self, rel_path: str):
         self.rel = rel_path
         self.findings: list[Finding] = []
+        #: stack of per-scope tainted-name sets (module scope at [0])
+        self._tainted: list[set[str]] = [set()]
 
     def _flag(self, rule: str, node: ast.AST, message: str) -> None:
         self.findings.append(
@@ -124,6 +141,69 @@ class _Linter(ast.NodeVisitor):
             ):
                 return f".{child.func.attr}()"
         return None
+
+    # ------------------------------------------------------------ SC-L005
+    def _storage_derived(self, expr: ast.AST) -> bool:
+        """True if ``expr`` (or any sub-expression) names tainted storage:
+        a ``bulk_view`` / ``gather_raw`` call, or a variable assigned from
+        one (views/reshapes/slices of tainted names stay tainted)."""
+        tainted = self._tainted[-1]
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name) and node.id in tainted:
+                return True
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _STORAGE_ACCESSORS
+            ):
+                return True
+        return False
+
+    def _taint_targets(self, targets: list[ast.expr]) -> None:
+        for tgt in targets:
+            for node in ast.walk(tgt):
+                if isinstance(node, ast.Name):
+                    self._tainted[-1].add(node.id)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._tainted.append(set())
+        self.generic_visit(node)
+        self._tainted.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._storage_derived(node.value):
+            self._taint_targets(node.targets)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None and self._storage_derived(node.value):
+            self._taint_targets([node.target])
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = None
+        if isinstance(node.func, ast.Attribute):
+            name = node.func.attr
+        elif isinstance(node.func, ast.Name):
+            name = node.func.id
+        if (
+            name in _XOR_CALLS
+            and not self.rel.startswith(_XOR_ALLOWED_PREFIX)
+            and any(
+                self._storage_derived(arg)
+                for arg in [*node.args, *(kw.value for kw in node.keywords)]
+            )
+        ):
+            self._flag(
+                "SC-L005",
+                node,
+                f"direct `{name}` on BlockArray storage (bulk_view/gather_raw "
+                "data) outside repro.kernels — route it through an XorKernel "
+                "backend (repro.kernels.resolve_kernel)",
+            )
+        self.generic_visit(node)
 
     # ------------------------------------------------- SC-L003 / SC-L004
     def _check_mp(self, node: ast.AST, module: str) -> None:

@@ -134,6 +134,77 @@ def mutated_programs() -> list[tuple[str, object, object]]:
     return cases
 
 
+def _replace_first_fused(program, fn):
+    """Rebuild ``program`` with ``fn`` applied to its first FusedPhase.
+
+    The fused IR is frozen dataclasses, so this never mutates shared
+    state — every corrupted variant is a fresh object graph.
+    """
+    phases = []
+    done = False
+    for ph in program.phases:
+        if ph.fused is not None and not done:
+            ph = dataclasses.replace(ph, fused=fn(ph.fused))
+            done = True
+        phases.append(ph)
+    if not done:
+        raise AssertionError("program has no fused phase to corrupt")
+    return replace(program, phases=tuple(phases))
+
+
+def mutated_fused_programs() -> list[tuple[str, object, object]]:
+    """(description, plan, program-with-corrupted-fused-IR) triples.
+
+    Each variant is a lowering bug the fused executor would happily run
+    — wrong bytes or wrong counters with no crash — so SC-D006 is the
+    only line of defence and must catch every one.
+    """
+    from repro.compiled.compiler import compile_plan
+    from repro.migration.approaches import build_plan
+
+    # groups past the alignment cycle so stride terms exist
+    plan = build_plan("code56", "direct", 5, groups=8)
+    base = compile_plan(plan, use_cache=False)
+    cases: list[tuple[str, object, object]] = []
+
+    def shift(fz):
+        ops = list(fz.ops)
+        for i, op in enumerate(ops):
+            for j, t in enumerate(op.terms):
+                if t.kind == "stride":
+                    terms = list(op.terms)
+                    terms[j] = dataclasses.replace(t, start=t.start + 1)
+                    ops[i] = dataclasses.replace(op, terms=tuple(terms))
+                    return dataclasses.replace(fz, ops=tuple(ops))
+        raise AssertionError("no stride term")
+
+    cases.append(
+        ("code56/direct: fused stride operand shifted one block", plan,
+         _replace_first_fused(base, shift))
+    )
+
+    def drop(fz):
+        ops = list(fz.ops)
+        ops[0] = dataclasses.replace(ops[0], terms=ops[0].terms[1:])
+        return dataclasses.replace(fz, ops=tuple(ops))
+
+    cases.append(
+        ("code56/direct: fused chain lost an XOR operand", plan,
+         _replace_first_fused(base, drop))
+    )
+
+    def credit(fz):
+        rc = fz.read_credit.copy()
+        rc[0] += 1
+        return dataclasses.replace(fz, read_credit=rc)
+
+    cases.append(
+        ("code56/direct: fused read credit drifts from counted I/O", plan,
+         _replace_first_fused(base, credit))
+    )
+    return cases
+
+
 def crash_recovery_checks() -> list[tuple[str, bool]]:
     """Plant stale checkpoints; demand detection plus re-execution.
 
@@ -209,7 +280,7 @@ def crash_recovery_checks() -> list[tuple[str, bool]]:
 
 def run_selftest() -> tuple[int, list[Finding]]:
     """Every seeded fault must be detected; each miss is an SC-S001."""
-    from repro.staticcheck.dataflow import analyze_program
+    from repro.staticcheck.dataflow import analyze_fused, analyze_program
     from repro.staticcheck.prover import prove_code
 
     findings: list[Finding] = []
@@ -243,6 +314,23 @@ def run_selftest() -> tuple[int, list[Finding]]:
                     message=(
                         "dataflow analyzer missed a seeded fault: a corrupted "
                         "compiled index program went undetected"
+                    ),
+                )
+            )
+
+    for description, plan, program in mutated_fused_programs():
+        checks += 1
+        _c, caught = analyze_fused(plan, program)
+        if not caught:
+            findings.append(
+                Finding(
+                    analyzer="selftest",
+                    rule="SC-S001",
+                    location=description,
+                    message=(
+                        "dataflow analyzer missed a seeded fault: a corrupted "
+                        "fused region-op lowering went undetected (SC-D006 is "
+                        "vacuous)"
                     ),
                 )
             )

@@ -211,13 +211,23 @@ def run_task(task: SweepTask, pool: np.ndarray | None = None, pool_seed: int = 0
 _WORKER_STATE: dict = {}
 
 
-def _worker_init(pool_handle: dict | None, pool_seed: int, cache_dir: str | None) -> None:
-    """Pool initializer: private obs state, shared data pool, disk cache."""
+def _worker_init(
+    pool_handle: dict | None,
+    pool_seed: int,
+    cache_dir: str | None,
+    kernel: str | None = None,
+) -> None:
+    """Pool initializer: private obs state, shared data pool, disk cache,
+    and the process-wide XOR kernel tier (``repro.kernels``)."""
     from repro.compiled import set_program_cache_dir
     from repro.obs import set_registry, set_tracer
 
     if cache_dir is not None:
         set_program_cache_dir(cache_dir)
+    if kernel is not None:
+        from repro.kernels import set_default_kernel
+
+        set_default_kernel(kernel)
     registry = MetricsRegistry(enabled=True)
     tracer = Tracer(enabled=True)
     set_registry(registry)
@@ -320,6 +330,7 @@ def run_sweep(
     cache_dir: str | os.PathLike | None = None,
     mp_context: str = "spawn",
     executor_factory=None,
+    kernel: str | None = None,
 ) -> SweepResult:
     """Run every task of ``spec``; ``workers=0`` executes inline.
 
@@ -329,6 +340,12 @@ def run_sweep(
     remaining tasks then run inline in the parent when ``fallback_serial``
     (else :class:`SweepError`).  Results are merged by task index, so the
     payload is byte-identical however the work was scheduled.
+
+    ``kernel`` selects the XOR backend tier (``numpy`` / ``numba`` /
+    ``auto``) in every process that executes tasks — the pool workers via
+    their initializer and the parent for serial or fallback execution.
+    Backends are byte-exact, so the merged payload digest is
+    kernel-invariant (asserted by the sweep tests).
 
     ``executor_factory`` (tests) builds the pool given ``(workers,
     initargs)``; by default a spawn-context :class:`ProcessPoolExecutor`.
@@ -345,6 +362,12 @@ def run_sweep(
     fellback = 0
 
     prev_cache_dir = set_program_cache_dir(cache_dir) if cache_dir is not None else None
+    prev_kernel = None
+    if kernel is not None:
+        from repro.kernels import get_default_kernel, set_default_kernel
+
+        prev_kernel = get_default_kernel()
+        set_default_kernel(kernel)  # parent: serial runs + inline fallback
     cache_before = program_cache_info()
 
     needs_pool = any(w.kind == "execute" for w in spec.workloads)
@@ -387,7 +410,9 @@ def run_sweep(
 
                 segment = SharedNDArray.from_array(local_pool)
                 pool_handle = segment.handle.to_dict()
-            init_args = (pool_handle, spec.seed, str(cache_dir) if cache_dir else None)
+            init_args = (
+                pool_handle, spec.seed, str(cache_dir) if cache_dir else None, kernel,
+            )
             if executor_factory is None:
                 def executor_factory(n, initargs):
                     return ProcessPoolExecutor(
@@ -456,6 +481,10 @@ def run_sweep(
             segment.unlink()
         if cache_dir is not None:
             set_program_cache_dir(prev_cache_dir)
+        if prev_kernel is not None:
+            from repro.kernels import set_default_kernel
+
+            set_default_kernel(prev_kernel)
 
     assert all(r is not None for r in results)
     parent_cache = _cache_delta(cache_before, program_cache_info())

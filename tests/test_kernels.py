@@ -1,0 +1,240 @@
+"""XOR kernel backends: registry, unit semantics, and byte identity.
+
+The kernel seam only earns its keep if every backend is bit-for-bit
+interchangeable: the parametrized identity suite runs every supported
+(code, approach) pair through the fused executor under every backend
+available on this host, at block sizes from sub-cache-line to well past
+the kernels' tile budgets, and demands the audited engine's exact bytes
+and per-disk counters.  The numba tier is exercised when importable and
+skipped (not silently passed) when not.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiled import execute_plan_compiled
+from repro.kernels import (
+    KernelUnavailableError,
+    NumbaXorKernel,
+    NumpyXorKernel,
+    XorKernel,
+    available_kernels,
+    get_default_kernel,
+    get_kernel,
+    kernel_info,
+    resolve_kernel,
+    set_default_kernel,
+)
+from repro.migration import (
+    build_plan,
+    execute_plan,
+    prepare_source_array,
+    supported_conversions,
+    verify_conversion,
+)
+from repro.migration.approaches import alignment_cycle
+
+CONVERSIONS = supported_conversions()
+#: every backend this host can actually run (numpy is always present)
+BACKENDS = available_kernels()
+#: sub-tile, one-page, the bench floor, and past the numpy tile budget
+BLOCK_SIZES = (16, 512, 4096, 65536)
+
+
+def _cycle_plan(code, approach, p, cycles=1):
+    n = build_plan(code, approach, p, groups=1).n
+    return build_plan(code, approach, p, groups=alignment_cycle(code, p, n) * cycles)
+
+
+class TestRegistry:
+    def test_numpy_always_available(self):
+        assert "numpy" in BACKENDS
+
+    def test_auto_resolves_to_available_backend(self):
+        kernel = resolve_kernel("auto")
+        assert isinstance(kernel, XorKernel)
+        assert kernel.name in BACKENDS
+
+    def test_instances_are_cached(self):
+        assert get_kernel("numpy") is get_kernel("numpy")
+
+    def test_unknown_name_raises_keyerror(self):
+        with pytest.raises(KeyError, match="unknown kernel"):
+            get_kernel("cuda")
+
+    def test_kernel_info_reports_all_tiers(self):
+        info = kernel_info()
+        assert set(info) >= {"numpy", "numba"}
+        assert info["numpy"]["available"] is True
+        assert isinstance(info["numba"]["available"], bool)
+
+    def test_unavailable_backend_raises(self):
+        if NumbaXorKernel.is_available():
+            pytest.skip("numba importable here; nothing is unavailable")
+        with pytest.raises(KernelUnavailableError):
+            get_kernel("numba")
+        with pytest.raises(KernelUnavailableError):
+            NumbaXorKernel()
+
+    def test_default_kernel_roundtrip(self):
+        prev = get_default_kernel()
+        try:
+            set_default_kernel("numpy")
+            assert get_default_kernel() == "numpy"
+            assert resolve_kernel().name == "numpy"
+        finally:
+            set_default_kernel(prev)
+
+    def test_set_default_validates_eagerly(self):
+        if NumbaXorKernel.is_available():
+            pytest.skip("numba importable here")
+        prev = get_default_kernel()
+        with pytest.raises(KernelUnavailableError):
+            set_default_kernel("numba")
+        assert get_default_kernel() == prev
+
+
+def _reference_reduce(dst, sources, init):
+    ref = np.zeros_like(dst) if init else dst.copy()
+    for src in sources:
+        ref ^= np.broadcast_to(src, dst.shape) if src.shape != dst.shape else src
+    return ref
+
+
+class TestKernelSemantics:
+    """Unit contract of region_xor_reduce / scatter_xor, per backend."""
+
+    @pytest.fixture(params=BACKENDS)
+    def kernel(self, request):
+        return get_kernel(request.param)
+
+    def test_reduce_matches_reference(self, kernel):
+        rng = np.random.default_rng(0)
+        rows, width = 37, 48
+        sources = [rng.integers(0, 256, (rows, width), dtype=np.uint8) for _ in range(5)]
+        dst = np.empty((rows, width), dtype=np.uint8)
+        kernel.region_xor_reduce(dst, sources, init=True)
+        assert np.array_equal(dst, _reference_reduce(dst, sources, init=True))
+
+    def test_reduce_accumulates_without_init(self, kernel):
+        rng = np.random.default_rng(1)
+        dst = rng.integers(0, 256, (9, 32), dtype=np.uint8)
+        before = dst.copy()
+        sources = [rng.integers(0, 256, (9, 32), dtype=np.uint8) for _ in range(3)]
+        kernel.region_xor_reduce(dst, sources, init=False)
+        assert np.array_equal(dst, _reference_reduce(before, sources, init=False))
+
+    def test_empty_sources_zero_with_init(self, kernel):
+        dst = np.full((4, 16), 0xEE, dtype=np.uint8)
+        kernel.region_xor_reduce(dst, [], init=True)
+        assert not dst.any()
+        dst = np.full((4, 16), 0xEE, dtype=np.uint8)
+        kernel.region_xor_reduce(dst, [], init=False)
+        assert (dst == 0xEE).all()
+
+    def test_broadcast_single_row_source(self, kernel):
+        """A (1, width) operand folds into every destination row — the
+        'const' term of the fused IR."""
+        rng = np.random.default_rng(2)
+        rows, width = 23, 40
+        full = rng.integers(0, 256, (rows, width), dtype=np.uint8)
+        one = rng.integers(0, 256, (1, width), dtype=np.uint8)
+        dst = np.empty((rows, width), dtype=np.uint8)
+        kernel.region_xor_reduce(dst, [full, one], init=True)
+        assert np.array_equal(dst, full ^ one)
+
+    def test_strided_views_supported(self, kernel):
+        """Zero-copy store views (the 'stride' term) need no contiguity."""
+        rng = np.random.default_rng(3)
+        backing = rng.integers(0, 256, (64, 24), dtype=np.uint8)
+        a, b = backing[::4][:8], backing[1::4][:8]
+        dst = np.empty((8, 24), dtype=np.uint8)
+        kernel.region_xor_reduce(dst, [a, b], init=True)
+        assert np.array_equal(dst, a ^ b)
+
+    def test_reduce_tiles_past_tile_budget(self):
+        """Destinations larger than the tile budget are still exact."""
+        rng = np.random.default_rng(4)
+        kernel = NumpyXorKernel(tile_bytes=128)  # force many tiles
+        rows, width = 50, 33
+        sources = [
+            rng.integers(0, 256, (rows, width), dtype=np.uint8),
+            rng.integers(0, 256, (1, width), dtype=np.uint8),  # broadcast
+            rng.integers(0, 256, (rows, width), dtype=np.uint8),
+        ]
+        dst = np.empty((rows, width), dtype=np.uint8)
+        kernel.region_xor_reduce(dst, sources, init=True)
+        assert np.array_equal(dst, _reference_reduce(dst, sources, init=True))
+
+    def test_scatter_xor(self, kernel):
+        rng = np.random.default_rng(5)
+        dst = rng.integers(0, 256, (16, 20), dtype=np.uint8)
+        before = dst.copy()
+        rows = np.array([1, 4, 11], dtype=np.intp)
+        payload = rng.integers(0, 256, (3, 20), dtype=np.uint8)
+        kernel.scatter_xor(dst, rows, payload)
+        expect = before.copy()
+        expect[rows] ^= payload
+        assert np.array_equal(dst, expect)
+
+
+@pytest.mark.skipif(
+    NumbaXorKernel.is_available(), reason="numba importable; tier is live"
+)
+class TestNumbaUnavailable:
+    def test_capabilities_report_unavailable(self):
+        caps = NumbaXorKernel.capabilities()
+        assert caps["available"] is False
+
+    def test_auto_falls_back_to_numpy(self):
+        assert resolve_kernel("auto").name == "numpy"
+
+
+class TestByteIdentity:
+    """Fused executor under every backend == the audited engine, exactly."""
+
+    @pytest.mark.parametrize("block_size", BLOCK_SIZES)
+    @pytest.mark.parametrize("kernel_name", BACKENDS)
+    @pytest.mark.parametrize("code,approach", CONVERSIONS)
+    def test_all_pairs_all_backends_all_block_sizes(
+        self, code, approach, kernel_name, block_size
+    ):
+        plan = _cycle_plan(code, approach, 5)
+        audited, data = prepare_source_array(
+            plan, np.random.default_rng(7), block_size=block_size
+        )
+        execute_plan(plan, audited, data)
+        fused, _ = prepare_source_array(
+            plan, np.random.default_rng(7), block_size=block_size
+        )
+        result = execute_plan_compiled(plan, fused, data, kernel=kernel_name)
+        assert np.array_equal(audited.snapshot(), fused.snapshot())
+        assert np.array_equal(audited.reads, fused.reads)
+        assert np.array_equal(audited.writes, fused.writes)
+        assert result.measured_reads == plan.read_ios
+        assert result.measured_writes == plan.write_ios
+        assert verify_conversion(result)
+
+    @pytest.mark.parametrize("kernel_name", BACKENDS)
+    def test_multi_cycle_batches_get_stride_terms(self, kernel_name):
+        """Batches past the alignment cycle exercise strided operands."""
+        plan = _cycle_plan("code56", "direct", 5, cycles=8)
+        audited, data = prepare_source_array(
+            plan, np.random.default_rng(8), block_size=64
+        )
+        execute_plan(plan, audited, data)
+        fused, _ = prepare_source_array(
+            plan, np.random.default_rng(8), block_size=64
+        )
+        execute_plan_compiled(plan, fused, data, kernel=kernel_name)
+        assert np.array_equal(audited.snapshot(), fused.snapshot())
+        assert np.array_equal(audited.reads, fused.reads)
+        assert np.array_equal(audited.writes, fused.writes)
+
+    def test_kernel_instance_accepted(self):
+        plan = _cycle_plan("code56", "direct", 5)
+        fused, data = prepare_source_array(
+            plan, np.random.default_rng(9), block_size=32
+        )
+        result = execute_plan_compiled(plan, fused, data, kernel=NumpyXorKernel())
+        assert verify_conversion(result)

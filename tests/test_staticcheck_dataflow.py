@@ -9,6 +9,7 @@ from repro.migration.approaches import build_plan, supported_conversions
 from repro.migration.plan import Location
 from repro.staticcheck.dataflow import (
     analyze_conversion,
+    analyze_fused,
     analyze_plan,
     analyze_program,
     check_online_lost_writes,
@@ -113,6 +114,115 @@ class TestProgramFidelity:
         program = dataclasses.replace(program, n_disks=program.n_disks + 1)
         _checks, findings = analyze_program(plan, program)
         assert any(f.rule == "SC-D005" for f in findings)
+
+
+def _mutate_first_fused(program, fn):
+    """Apply ``fn`` to the first lowered phase's FusedPhase."""
+    phases = []
+    done = False
+    for ph in program.phases:
+        if ph.fused is not None and not done:
+            ph = dataclasses.replace(ph, fused=fn(ph.fused))
+            done = True
+        phases.append(ph)
+    assert done, "program has no fused phase"
+    return dataclasses.replace(program, phases=tuple(phases))
+
+
+class TestFusionFidelity:
+    """SC-D006: fused region ops expand to exactly the unfused encode."""
+
+    def _plan_and_program(self, groups=8):
+        # groups > alignment cycle so stride terms (not just const) appear
+        plan = build_plan("code56", "direct", 5, groups=groups)
+        return plan, compile_plan(plan, use_cache=False)
+
+    def test_lowered_program_clean(self):
+        plan, program = self._plan_and_program()
+        assert any(ph.fused is not None for ph in program.phases)
+        checks, findings = analyze_fused(plan, program)
+        assert checks > 0
+        assert findings == []
+
+    @pytest.mark.parametrize("code_name,approach", supported_conversions())
+    def test_all_conversions_clean(self, code_name, approach, paper_p):
+        plan = build_plan(code_name, approach, paper_p)
+        checks, findings = analyze_fused(plan, compile_plan(plan, use_cache=False))
+        assert findings == []
+
+    def test_shifted_stride_term_flagged(self):
+        import numpy as np  # noqa: F401  (parity with sibling tests)
+
+        from repro.compiled.program import RegionTerm
+
+        plan, program = self._plan_and_program()
+
+        def shift(fz):
+            ops = list(fz.ops)
+            for i, op in enumerate(ops):
+                for j, t in enumerate(op.terms):
+                    if t.kind == "stride":
+                        terms = list(op.terms)
+                        terms[j] = dataclasses.replace(t, start=t.start + 1)
+                        ops[i] = dataclasses.replace(op, terms=tuple(terms))
+                        return dataclasses.replace(fz, ops=tuple(ops))
+            raise AssertionError("no stride term to mutate")
+
+        _checks, findings = analyze_fused(plan, _mutate_first_fused(program, shift))
+        assert any(f.rule == "SC-D006" for f in findings)
+
+    def test_dropped_term_flagged(self):
+        plan, program = self._plan_and_program()
+
+        def drop(fz):
+            ops = list(fz.ops)
+            ops[0] = dataclasses.replace(ops[0], terms=ops[0].terms[1:])
+            return dataclasses.replace(fz, ops=tuple(ops))
+
+        _checks, findings = analyze_fused(plan, _mutate_first_fused(program, drop))
+        assert any(f.rule == "SC-D006" for f in findings)
+
+    def test_read_credit_drift_flagged(self):
+        plan, program = self._plan_and_program()
+
+        def credit(fz):
+            rc = fz.read_credit.copy()
+            rc[0] += 1
+            return dataclasses.replace(fz, read_credit=rc)
+
+        _checks, findings = analyze_fused(plan, _mutate_first_fused(program, credit))
+        assert any(
+            f.rule == "SC-D006" and "read_credit" in f.message for f in findings
+        )
+
+    def test_swapped_parity_rows_flagged(self):
+        plan, program = self._plan_and_program()
+
+        def swap(fz):
+            ps = fz.parity_src.copy()
+            assert ps.size >= 2
+            ps[[0, 1]] = ps[[1, 0]]
+            return dataclasses.replace(fz, parity_src=ps)
+
+        _checks, findings = analyze_fused(plan, _mutate_first_fused(program, swap))
+        assert any(f.rule == "SC-D006" for f in findings)
+
+    def test_forward_ref_flagged(self):
+        from repro.compiled.program import RegionTerm
+
+        plan, program = self._plan_and_program()
+
+        def forward(fz):
+            ops = list(fz.ops)
+            terms = ops[0].terms + (RegionTerm(kind="ref", ref=len(ops)),)
+            ops[0] = dataclasses.replace(ops[0], terms=terms)
+            return dataclasses.replace(fz, ops=tuple(ops))
+
+        _checks, findings = analyze_fused(plan, _mutate_first_fused(program, forward))
+        assert any(
+            f.rule == "SC-D006" and "not computed before" in f.message
+            for f in findings
+        )
 
 
 class TestOnlineLostWrites:

@@ -138,6 +138,95 @@ class TestMultiprocessingBoundaryRule:
         assert "repro.sweep" in findings[0].message
 
 
+class TestKernelXorRule:
+    def test_flags_xor_on_bulk_view_result(self):
+        findings = lint(
+            """
+            def f(array):
+                region = array.bulk_view(a, b)
+                np.bitwise_xor(acc, region[0], out=acc)
+            """
+        )
+        assert [f.rule for f in findings] == ["SC-L005"]
+
+    def test_flags_xor_on_gather_raw_result(self):
+        findings = lint(
+            """
+            def f(array):
+                payload = array.gather_raw(disks, blocks)
+                np.bitwise_xor(payload, other, out=payload)
+            """
+        )
+        assert [f.rule for f in findings] == ["SC-L005"]
+
+    def test_taint_propagates_through_views(self):
+        findings = lint(
+            """
+            def f(array):
+                region = array.bulk_view(a, b).reshape(m, g, r, bs)
+                acc = region[0]
+                np.bitwise_xor(acc, x, out=acc)
+            """
+        )
+        assert [f.rule for f in findings] == ["SC-L005"]
+
+    def test_flags_inline_accessor_argument(self):
+        findings = lint("np.bitwise_xor(acc, array.bulk_view(a, b), out=acc)")
+        assert [f.rule for f in findings] == ["SC-L005"]
+
+    def test_flags_xor_helpers_too(self):
+        findings = lint(
+            """
+            def f(array):
+                store = array.bulk_view(a, b)
+                xor_into(store[0], views)
+            """
+        )
+        assert [f.rule for f in findings] == ["SC-L005"]
+
+    def test_allowed_inside_kernels_package(self):
+        findings = lint(
+            """
+            def f(array):
+                store = array.bulk_view(a, b)
+                np.bitwise_xor(store[0], x, out=store[0])
+            """,
+            rel="kernels/numpy_backend.py",
+        )
+        assert findings == []
+
+    def test_untainted_xor_allowed(self):
+        findings = lint(
+            """
+            def f(stripe):
+                np.bitwise_xor(out, stripe[r, c], out=out)
+            """
+        )
+        assert findings == []
+
+    def test_taint_is_function_local(self):
+        findings = lint(
+            """
+            def g(array):
+                region = array.bulk_view(a, b)
+
+            def h(region):
+                np.bitwise_xor(acc, region, out=acc)
+            """
+        )
+        assert findings == []
+
+    def test_kernel_seam_call_allowed(self):
+        findings = lint(
+            """
+            def f(array, kernel):
+                region = array.bulk_view(a, b)
+                kernel.region_xor_reduce(dst, [region[0]], init=True)
+            """
+        )
+        assert findings == []
+
+
 class TestRepoIsClean:
     def test_run_lint_over_src(self):
         checks, findings = run_lint()

@@ -10,6 +10,7 @@ from repro.staticcheck.prover import prove_code
 from repro.staticcheck.selftest import (
     _copy_program,
     crash_recovery_checks,
+    mutated_fused_programs,
     mutated_layouts,
     mutated_programs,
     run_selftest,
@@ -33,6 +34,15 @@ class TestFaultCorpus:
             _checks, findings = analyze_program(plan, program)
             assert findings, f"dataflow missed: {description}"
 
+    def test_every_fused_fault_detected(self):
+        from repro.staticcheck.dataflow import analyze_fused
+
+        cases = mutated_fused_programs()
+        assert len(cases) >= 3
+        for description, plan, program in cases:
+            _checks, findings = analyze_fused(plan, program)
+            assert findings, f"SC-D006 missed: {description}"
+
     def test_every_crash_recovery_drill_passes(self):
         drills = crash_recovery_checks()
         # both offline engines plus the online watermark
@@ -45,6 +55,7 @@ class TestFaultCorpus:
         expected = (
             len(mutated_layouts())
             + len(mutated_programs())
+            + len(mutated_fused_programs())
             + len(crash_recovery_checks())
         )
         assert checks == expected
