@@ -434,10 +434,12 @@ def _cmd_check(args: argparse.Namespace) -> int:
     """Static verification gate; exit 0 clean / 1 findings / 2 internal."""
     from repro.obs import get_registry
     from repro.staticcheck import EXIT_INTERNAL_ERROR, run_checks
-    from repro.staticcheck.runner import QUICK_PRIMES
+    from repro.staticcheck.runner import DEFAULT_ANALYZERS, QUICK_PRIMES
 
     primes = tuple(args.primes) if args.primes else (QUICK_PRIMES if args.quick else None)
     analyzers = tuple(args.analyzer) if args.analyzer else None
+    if args.concur and "concur" not in (analyzers or ()):
+        analyzers = (analyzers or DEFAULT_ANALYZERS) + ("concur",)
     registry = get_registry()
     metrics_on = registry.enabled
     if args.metrics:
@@ -765,8 +767,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument(
         "--analyzer",
         action="append",
-        choices=("dataflow", "lint", "prover", "selftest"),
-        help="run only this analyzer (repeatable; default: all)",
+        choices=("concur", "dataflow", "lint", "prover", "selftest"),
+        help="run only this analyzer (repeatable; default: all but concur)",
+    )
+    p_check.add_argument(
+        "--concur", action="store_true",
+        help="also run the concurrency plane (interleaving model checker, "
+        "happens-before race detector, sanitizer smoke, seeded defects)",
     )
     p_check.add_argument(
         "--primes", type=int, nargs="+", metavar="P",

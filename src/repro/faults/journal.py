@@ -30,23 +30,27 @@ import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.raid.array import BlockArray
 
-__all__ = ["JournalRecord", "ConversionJournal", "OnlineJournal"]
+__all__ = ["JournalKey", "JournalRecord", "ConversionJournal", "OnlineJournal"]
 
 IN_FLIGHT = "in-flight"
 COMMITTED = "committed"
+
+#: unit identifier — e.g. ``("group", g)`` or ``("phase", i)``
+JournalKey = tuple[object, ...]
 
 
 @dataclass
 class JournalRecord:
     """One unit's undo record plus (after commit) its content digest."""
 
-    key: tuple
-    disks: np.ndarray
-    blocks: np.ndarray
-    preimages: np.ndarray
+    key: JournalKey
+    disks: npt.NDArray[np.intp]
+    blocks: npt.NDArray[np.intp]
+    preimages: npt.NDArray[np.uint8]
     digest: str | None = None
     state: str = IN_FLIGHT
 
@@ -55,41 +59,47 @@ class JournalRecord:
 class ConversionJournal:
     """Write-ahead undo/commit log for checkpointed offline conversion."""
 
-    records: dict[tuple, JournalRecord] = field(default_factory=dict)
+    records: dict[JournalKey, JournalRecord] = field(default_factory=dict)
     #: stable-storage accounting (not array I/O)
     bytes_logged: int = 0
     appends: int = 0
 
     @staticmethod
-    def digest_of(payloads: np.ndarray) -> str:
+    def digest_of(payloads: npt.ArrayLike) -> str:
         """Content digest of a unit's written blocks (order-sensitive)."""
         return hashlib.sha256(np.ascontiguousarray(payloads).tobytes()).hexdigest()
 
     # ------------------------------------------------------------- WAL ops
-    def begin(self, key: tuple, disks, blocks, preimages: np.ndarray) -> None:
+    def begin(
+        self,
+        key: JournalKey,
+        disks: npt.ArrayLike,
+        blocks: npt.ArrayLike,
+        preimages: npt.ArrayLike,
+    ) -> None:
         """Log a unit's undo record before it touches the array."""
-        disks = np.asarray(disks, dtype=np.intp).ravel().copy()
-        blocks = np.asarray(blocks, dtype=np.intp).ravel().copy()
-        preimages = np.asarray(preimages, dtype=np.uint8).copy()
-        self.records[key] = JournalRecord(key, disks, blocks, preimages)
-        self.bytes_logged += preimages.nbytes
+        disk_ids = np.asarray(disks, dtype=np.intp).ravel().copy()
+        block_ids = np.asarray(blocks, dtype=np.intp).ravel().copy()
+        images = np.asarray(preimages, dtype=np.uint8).copy()
+        self.records[key] = JournalRecord(key, disk_ids, block_ids, images)
+        self.bytes_logged += images.nbytes
         self.appends += 1
 
-    def commit(self, key: tuple, digest: str) -> None:
+    def commit(self, key: JournalKey, digest: str) -> None:
         rec = self.records[key]
         rec.digest = digest
         rec.state = COMMITTED
         self.appends += 1
 
     # ------------------------------------------------------------ recovery
-    def get(self, key: tuple) -> JournalRecord | None:
+    def get(self, key: JournalKey) -> JournalRecord | None:
         return self.records.get(key)
 
-    def committed(self, key: tuple) -> bool:
+    def committed(self, key: JournalKey) -> bool:
         rec = self.records.get(key)
         return rec is not None and rec.state == COMMITTED
 
-    def validate(self, key: tuple, array: BlockArray) -> bool:
+    def validate(self, key: JournalKey, array: BlockArray) -> bool:
         """Does the array still hold the bytes the unit committed?
 
         Uses the uncounted gather — validation is the recovery path's
@@ -100,7 +110,7 @@ class ConversionJournal:
             return False
         return self.digest_of(array.gather_raw(rec.disks, rec.blocks)) == rec.digest
 
-    def rollback(self, key: tuple, array: BlockArray) -> None:
+    def rollback(self, key: JournalKey, array: BlockArray) -> None:
         """Restore the unit's pre-images (undo), reopening it for re-execution."""
         rec = self.records[key]
         array.restore_blocks(rec.disks, rec.blocks, rec.preimages)
@@ -108,7 +118,7 @@ class ConversionJournal:
         rec.state = IN_FLIGHT
 
     # ------------------------------------------------------------ reporting
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, object]:
         states: dict[str, int] = {}
         for rec in self.records.values():
             states[rec.state] = states.get(rec.state, 0) + 1
@@ -124,12 +134,13 @@ class OnlineJournal:
     """Watermark of generated diagonal parities (Algorithm 2 checkpoint)."""
 
     def __init__(self, groups: int, rows: int):
-        self._marked = np.zeros((groups, rows), dtype=bool)
+        self._marked: npt.NDArray[np.bool_] = np.zeros((groups, rows), dtype=bool)
         self.appends = 0
 
     @property
     def shape(self) -> tuple[int, int]:
-        return self._marked.shape
+        rows, cols = self._marked.shape
+        return int(rows), int(cols)
 
     def mark(self, group: int, row: int) -> None:
         """Record parity (group, row) as generated — call *after* its write."""
@@ -143,8 +154,20 @@ class OnlineJournal:
     def is_marked(self, group: int, row: int) -> bool:
         return bool(self._marked[group, row])
 
-    def marked(self) -> np.ndarray:
+    def marked(self) -> npt.NDArray[np.bool_]:
         return self._marked.copy()
+
+    def restore_marks(self, marked: npt.NDArray[np.bool_]) -> None:
+        """Overwrite the bitmap with a :meth:`marked` snapshot.
+
+        State-space rewind for the interleaving model checker — not a
+        log append, so ``appends`` is untouched.
+        """
+        if marked.shape != self._marked.shape:
+            raise ValueError(
+                f"snapshot shape {marked.shape} does not match {self._marked.shape}"
+            )
+        self._marked[...] = marked
 
     def count(self) -> int:
         return int(self._marked.sum())

@@ -18,6 +18,30 @@ its own I/Os.  The end state is verified: all parities consistent and
 every logical block equal to the ground-truth model after the same write
 sequence.
 
+The conversion thread is a **resumable step function**: its transitions
+are exposed individually so external schedulers (the interleaving model
+checker in :mod:`repro.staticcheck.concur`) can drive arbitrary
+interleavings of conversion progress, application writes, crash points
+and journal flushes:
+
+* :meth:`~OnlineCode56Conversion.pending_parity` — the next diagonal
+  parity the conversion thread will generate (or None when done);
+* :meth:`~OnlineCode56Conversion.generate_step` — one conversion step:
+  read the chain, write the parity (the array mutation, *without* the
+  journal flush — the crash window between the two is explicit);
+* :meth:`~OnlineCode56Conversion.mark_step` — the journal flush: record
+  the just-written parity as generated and advance the cursor;
+* :meth:`~OnlineCode56Conversion.serve_request` — one application
+  request (a write interrupts the conversion, Algorithm 2);
+* :meth:`~OnlineCode56Conversion.thread_state` /
+  :meth:`~OnlineCode56Conversion.restore_thread_state` — snapshot and
+  restore the conversion thread's in-memory state (cursor + generated
+  bitmap) for depth-first state-space exploration.
+
+:meth:`~OnlineCode56Conversion.run` is a driver over exactly these
+transitions, so the cooperative-scheduler behaviour and the model
+checker explore the same code.
+
 Note the per-chain read pattern costs ``(p-2)`` reads per parity versus
 the offline engine's shared whole-group read — the price of fine-grained
 interruptibility; both totals are reported.
@@ -243,11 +267,68 @@ class OnlineCode56Conversion:
         return report
 
     # --------------------------------------------------- conversion thread
+    @property
+    def conversion_done(self) -> bool:
+        """Every diagonal parity generated (the thread has nothing left)."""
+        return bool(self._generated.all())
+
+    def pending_parity(self) -> tuple[int, int] | None:
+        """Next ``(group, row)`` the conversion thread will generate.
+
+        Advances the cursor past already-generated entries (a resumed
+        converter skips validated work); returns None when the thread
+        has drained.
+        """
+        total = self.groups * self.rows
+        while self._cursor < total:
+            group, row = divmod(self._cursor, self.rows)
+            if not self._generated[group, row]:
+                return group, row
+            self._cursor += 1
+        return None
+
+    def generate_step(self, report: OnlineReport) -> int:
+        """Transition: generate the pending diagonal parity — array only.
+
+        Reads the chain and writes the parity block, but does **not**
+        record it as generated nor flush the journal: the window between
+        this step and :meth:`mark_step` is the protocol's crash window
+        (a crash here leaves a correct-but-unmarked parity, regenerated
+        idempotently on resume).  Returns the I/O cost in ticks, 0 when
+        nothing is pending.
+        """
+        pending = self.pending_parity()
+        if pending is None:
+            return 0
+        return self._generate_parity(pending[0], pending[1], report)
+
+    def mark_step(self) -> None:
+        """Transition: the journal flush for the parity just generated.
+
+        Records the cursor's parity as generated, marks the watermark
+        (write-ahead ordering: only *after* the parity write landed) and
+        advances the cursor.
+        """
+        group, row = divmod(self._cursor, self.rows)
+        self._generated[group, row] = True
+        if self.journal is not None:
+            self.journal.mark(group, row)
+        self._cursor += 1
+
+    def thread_state(self) -> tuple[int, np.ndarray]:
+        """Snapshot of the conversion thread (cursor, generated bitmap)."""
+        return self._cursor, self._generated.copy()
+
+    def restore_thread_state(self, state: tuple[int, np.ndarray]) -> None:
+        """Restore a :meth:`thread_state` snapshot (model-checker rewind)."""
+        cursor, generated = state
+        self._cursor = int(cursor)
+        self._generated[...] = generated
+
     def _convert_until(self, deadline: float, clock: float, report: OnlineReport) -> float:
         from contextlib import nullcontext
 
-        total = self.groups * self.rows
-        if self._cursor >= total:
+        if self._cursor >= self.groups * self.rows:
             return clock
         start_tick, start_parities = clock, int(self._generated.sum())
         plane = self.array.fault_plane
@@ -256,23 +337,19 @@ class OnlineCode56Conversion:
         with get_tracer().span(
             "convert", cat="online", track="conversion", tick=clock,
         ) as span, (plane.crashable() if plane is not None else nullcontext()):
-            while self._cursor < total:
-                group, row = divmod(self._cursor, self.rows)
-                if self._generated[group, row]:
-                    self._cursor += 1
-                    continue
-                cost = self._generate_parity(group, row, report)
+            while True:
+                pending = self.pending_parity()
+                if pending is None:
+                    break
+                cost = self.generate_step(report)
                 if plane is not None:
                     # the write-done/mark-missing window: a crash here
                     # leaves a correct but unmarked parity, regenerated
                     # (idempotently) on resume
-                    plane.crash_point(f"pre-mark:g{group}r{row}")
+                    plane.crash_point(f"pre-mark:g{pending[0]}r{pending[1]}")
                 report.conversion_ticks += cost
                 clock += cost
-                self._generated[group, row] = True
-                if self.journal is not None:
-                    self.journal.mark(group, row)
-                self._cursor += 1
+                self.mark_step()
                 if clock >= deadline:
                     break
             span.set(
@@ -325,6 +402,33 @@ class OnlineCode56Conversion:
         return ios + 1
 
     # -------------------------------------------------- application thread
+    def serve_request(
+        self, req: OnlineRequest, clock: float, report: OnlineReport
+    ) -> float:
+        """Transition: serve one application request (Algorithm 2).
+
+        A write interrupts the conversion thread and performs its
+        read-modify-write against the horizontal parity (always) and the
+        diagonal parity (only if already generated).  Returns the clock
+        after the request's I/Os.
+        """
+        return self._serve(req, clock, report)
+
+    def _patch_diagonal(
+        self, group: int, prow: int, delta: np.ndarray, report: OnlineReport
+    ) -> int:
+        """RMW the generated diagonal parity of ``(group, prow)`` by ``delta``.
+
+        Separated from :meth:`_serve` so defect-injection harnesses (the
+        concur selftest) can override exactly the step whose omission
+        loses a write.  Returns the I/O cost.
+        """
+        block = group * self.rows + prow
+        dp = self.array.read(self.m, block)
+        self.array.write(self.m, block, np.bitwise_xor(dp, delta))
+        report.writes_to_converted += 1
+        return 2
+
     def _serve(self, req: OnlineRequest, clock: float, report: OnlineReport) -> float:
         group, row, disk, stripe = self.locate(req.lba)
         failed = self.array.failed_disks
@@ -356,12 +460,7 @@ class OnlineCode56Conversion:
         # diagonal parity only if already generated
         prow = self._diag_parity_row_of(row, disk)
         if self._generated[group, prow]:
-            block = group * self.rows + prow
-            dp = self.array.read(self.m, block)
-            ios += 1
-            self.array.write(self.m, block, np.bitwise_xor(dp, delta))
-            ios += 1
-            report.writes_to_converted += 1
+            ios += self._patch_diagonal(group, prow, delta, report)
         else:
             report.writes_to_unconverted += 1
         report.app_ticks += ios

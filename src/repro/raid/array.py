@@ -77,6 +77,8 @@ class BlockArray:
         self.writes = np.zeros(n_disks, dtype=np.int64)
         #: optional repro.faults.FaultPlane; None keeps every op fault-free
         self._fault_plane = None
+        #: optional concurrency sanitizer; None skips all shadow recording
+        self._sanitizer = None
 
     @classmethod
     def over(cls, buffer: np.ndarray) -> "BlockArray":
@@ -135,6 +137,24 @@ class BlockArray:
         """
         self._fault_plane = plane
 
+    # ----------------------------------------------------------- sanitizer
+    @property
+    def sanitizer(self):
+        """The attached :class:`~repro.staticcheck.concur.sanitizer.
+        BlockSanitizer`, or None."""
+        return self._sanitizer
+
+    def attach_sanitizer(self, sanitizer) -> None:
+        """Install (or, with ``None``, remove) a shared-state sanitizer.
+
+        Every *completed* counted I/O is shadow-recorded against the
+        sanitizer's vector clocks; uncounted access (``raw`` /
+        ``snapshot`` / ``gather_raw`` / ``restore_blocks``) stays
+        invisible, mirroring its out-of-band role.  Detached, each op
+        pays one ``is None`` test and the I/O counters are untouched.
+        """
+        self._sanitizer = sanitizer
+
     # ------------------------------------------------------------------- I/O
     def _check(self, disk: int, block: int) -> None:
         if not 0 <= disk < self.n_disks:
@@ -155,6 +175,8 @@ class BlockArray:
         if self._fault_plane is not None:
             self._fault_plane.on_read(disk, block)
         self.reads[disk] += 1
+        if self._sanitizer is not None:
+            self._sanitizer.record_read(disk, block)
         return self._store[disk, block].copy()
 
     def write(self, disk: int, block: int, payload: np.ndarray) -> None:
@@ -175,15 +197,20 @@ class BlockArray:
                 raise crash
         self.writes[disk] += 1
         self._store[disk, block] = payload
+        if self._sanitizer is not None:
+            self._sanitizer.record_write(disk, block)
 
     def write_zero(self, disk: int, block: int) -> None:
         """Write a NULL block (parity invalidation; counted as a write)."""
         self._check(disk, block)
         if self._fault_plane is not None:
+            # delegates to write(), which also shadow-records
             self.write(disk, block, np.zeros(self.block_size, dtype=np.uint8))
             return
         self.writes[disk] += 1
         self._store[disk, block] = 0
+        if self._sanitizer is not None:
+            self._sanitizer.record_write(disk, block)
 
     # -------------------------------------------------------------- bulk I/O
     def _check_bulk(self, disks, blocks) -> tuple[np.ndarray, np.ndarray]:
@@ -212,8 +239,14 @@ class BlockArray:
             res = self._fault_plane.on_bulk_read(disks, blocks)
             if res is not None:  # crash mid-bulk: count the completed prefix
                 self.reads += np.bincount(disks[: res.prefix], minlength=self.n_disks)
+                if self._sanitizer is not None:
+                    self._sanitizer.record_reads(
+                        disks[: res.prefix], blocks[: res.prefix]
+                    )
                 raise res.crash
         self.reads += np.bincount(disks, minlength=self.n_disks)
+        if self._sanitizer is not None:
+            self._sanitizer.record_reads(disks, blocks)
         return self._store.reshape(-1, self.block_size)[
             disks * self.blocks_per_disk + blocks
         ]
@@ -237,6 +270,8 @@ class BlockArray:
         self._store.reshape(-1, self.block_size)[
             disks * self.blocks_per_disk + blocks
         ] = payloads
+        if self._sanitizer is not None:
+            self._sanitizer.record_writes(disks, blocks)
 
     def _faulted_bulk_write(self, disks, blocks, payloads: np.ndarray) -> None:
         """Bulk write through the fault plane (tears, crash prefix)."""
@@ -250,11 +285,17 @@ class BlockArray:
             # element may leave torn bytes, uncounted
             self.writes += np.bincount(disks[: res.prefix], minlength=self.n_disks)
             flat[idx[: res.prefix]] = payloads[: res.prefix]
+            if self._sanitizer is not None:
+                self._sanitizer.record_writes(
+                    disks[: res.prefix], blocks[: res.prefix]
+                )
             if res.inflight_payload is not None:
                 flat[idx[res.prefix]] = res.inflight_payload
             raise res.crash
         self.writes += np.bincount(disks, minlength=self.n_disks)
         flat[idx] = payloads
+        if self._sanitizer is not None:
+            self._sanitizer.record_writes(disks, blocks)
 
     def write_zero_blocks(self, disks, blocks) -> None:
         """Bulk counted NULL writes (parity invalidation)."""
@@ -267,6 +308,8 @@ class BlockArray:
         self._store.reshape(-1, self.block_size)[
             disks * self.blocks_per_disk + blocks
         ] = 0
+        if self._sanitizer is not None:
+            self._sanitizer.record_writes(disks, blocks)
 
     def trim_blocks(self, disks, blocks) -> None:
         """Bulk metadata-only trim: zeroes the slots, uncounted.

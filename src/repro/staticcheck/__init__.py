@@ -1,6 +1,6 @@
 """Static verification: symbolic code prover, dataflow analyzer, lint.
 
-Three analyzers, one report format, one front-end:
+Five analyzers, one report format, one front-end:
 
 * :mod:`repro.staticcheck.prover` — proves the MDS property and the
   Code 5-6 / RAID-5 parity identity from parity-check matrices over
@@ -11,9 +11,15 @@ Three analyzers, one report format, one front-end:
 * :mod:`repro.staticcheck.lint` — project-specific AST rules over
   ``src/``;
 * :mod:`repro.staticcheck.selftest` — seeded faults proving the
-  checkers are not vacuously green.
+  checkers are not vacuously green;
+* :mod:`repro.staticcheck.concur` — the concurrency plane: exhaustive
+  interleaving model checker over the online converter (SC-C rules),
+  AST happens-before race detector (SC-R rules), runtime vector-clock
+  sanitizer, and its own seeded-defect selftest.
 
-Run everything with ``python -m repro.staticcheck`` or ``repro check``.
+Run everything with ``python -m repro.staticcheck`` or ``repro check``;
+the concurrency plane is opt-in via ``--concur`` (it explores tens of
+thousands of interleavings and has its own CI job).
 """
 
 from repro.staticcheck.report import (
@@ -24,7 +30,7 @@ from repro.staticcheck.report import (
     Finding,
     Severity,
 )
-from repro.staticcheck.runner import ANALYZERS, run_checks
+from repro.staticcheck.runner import ANALYZERS, DEFAULT_ANALYZERS, run_checks
 
 __all__ = [
     "EXIT_CLEAN",
@@ -34,5 +40,6 @@ __all__ = [
     "Finding",
     "Severity",
     "ANALYZERS",
+    "DEFAULT_ANALYZERS",
     "run_checks",
 ]

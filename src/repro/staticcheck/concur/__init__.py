@@ -1,0 +1,80 @@
+"""Concurrency verification plane for the online-migration protocols.
+
+Three tools over one question — *is every access to shared state
+ordered?* — at three levels of abstraction:
+
+* :mod:`~repro.staticcheck.concur.model` — exhaustive small-scope
+  interleaving model checker over the online converter's explicit
+  transitions (SC-C001..C004 safety invariants);
+* :mod:`~repro.staticcheck.concur.races` — AST happens-before race
+  detector over the process-crossing modules (SC-R001..R004);
+* :mod:`~repro.staticcheck.concur.sanitizer` — opt-in runtime
+  vector-clock recorder behind the counted BlockArray I/O API;
+* :mod:`~repro.staticcheck.concur.selftest` — seeded-defect probes
+  proving all of the above have zero false negatives (SC-S002).
+
+``repro check --concur`` (and ``python -m repro.staticcheck --analyzer
+concur``) runs the full plane.
+"""
+
+from __future__ import annotations
+
+from repro.staticcheck.concur.model import (
+    ModelScenario,
+    ModelStats,
+    check_scenario,
+    model_scenarios,
+    run_model_check,
+)
+from repro.staticcheck.concur.races import analyze_source, run_races
+from repro.staticcheck.concur.sanitizer import (
+    AccessViolation,
+    BlockSanitizer,
+    SharedStateRaceError,
+    sanitized_online_smoke,
+)
+from repro.staticcheck.concur.selftest import run_concur_selftest
+from repro.staticcheck.report import Finding
+
+__all__ = [
+    "ModelScenario",
+    "ModelStats",
+    "check_scenario",
+    "model_scenarios",
+    "run_model_check",
+    "analyze_source",
+    "run_races",
+    "AccessViolation",
+    "BlockSanitizer",
+    "SharedStateRaceError",
+    "sanitized_online_smoke",
+    "run_concur_selftest",
+    "run_concur",
+]
+
+
+def run_concur(primes: tuple[int, ...] = (5, 7)) -> tuple[int, list[Finding]]:
+    """The full concurrency plane: model check, race scan, sanitizer
+    smoke, seeded-defect selftest.  Returns ``(checks, findings)``."""
+    checks, findings, _stats = run_model_check(
+        primes=tuple(p for p in primes if p in (5, 7)) or (5, 7)
+    )
+    c, f = run_races()
+    checks += c
+    findings.extend(f)
+    # fenced cooperative run must be violation-free
+    smoke = sanitized_online_smoke(fenced=True)
+    checks += 1
+    for violation in smoke.violations:
+        findings.append(
+            Finding(
+                analyzer="concur",
+                rule="SC-C005",
+                location="sanitizer-smoke",
+                message=violation.describe(),
+            )
+        )
+    c, f = run_concur_selftest()
+    checks += c
+    findings.extend(f)
+    return checks, findings

@@ -1,0 +1,225 @@
+"""Runtime shared-state sanitizer: vector clocks over block regions.
+
+An opt-in shadow-access recorder behind the counted :class:`~repro.raid.
+array.BlockArray` I/O API, mirroring the fault plane's design: attached
+via :meth:`BlockArray.attach_sanitizer`, it observes every *completed*
+counted read/write; detached (the default) the array pays a single
+``is None`` test per op and the I/O counters are untouched either way.
+
+The concurrency model is the classic vector-clock one:
+
+* every **actor** (a logical thread: ``"conversion"``, ``"app"``, a
+  worker id) carries a vector clock; the ambient actor is set with the
+  :meth:`BlockSanitizer.actor` context manager (thread-local, so real
+  threads compose) and defaults to ``"main"``;
+* a **fence** (:meth:`BlockSanitizer.fence`) records a synchronization
+  edge from one actor to another — a cooperative-scheduler hand-off, a
+  process spawn/join, a journal commit — by joining the destination's
+  clock with the source's;
+* each block region ``(disk, block)`` shadows its last write (actor +
+  clock snapshot) and the last read per actor.  A read must
+  happen-after the last write; a write must happen-after the last write
+  *and* every read.  An unordered conflicting pair is recorded as an
+  :class:`AccessViolation` (or raised immediately with ``strict=True``).
+
+This is the dynamic complement to the static SC-R rules: the AST pass
+cannot see aliasing through runtime handles, the sanitizer cannot see
+code that never runs — together they cover the fleet-service invariant
+ROADMAP item 1 needs (no two actors touch a block region unordered).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+__all__ = [
+    "AccessViolation",
+    "SharedStateRaceError",
+    "BlockSanitizer",
+    "sanitized_online_smoke",
+]
+
+
+@dataclass(frozen=True)
+class AccessViolation:
+    """One unordered conflicting access to a block region."""
+
+    kind: str  # "write-write" | "read-write" | "write-read"
+    disk: int
+    block: int
+    actor: str
+    prior_actor: str
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind} race on (disk {self.disk}, block {self.block}): "
+            f"`{self.actor}` is not ordered after `{self.prior_actor}` — "
+            "add a fence (sync edge) between them"
+        )
+
+
+class SharedStateRaceError(RuntimeError):
+    """Raised in strict mode on the first unordered conflicting access."""
+
+    def __init__(self, violation: AccessViolation):
+        super().__init__(violation.describe())
+        self.violation = violation
+
+
+class BlockSanitizer:
+    """Vector-clock shadow recorder for counted block I/O."""
+
+    def __init__(self, strict: bool = False):
+        self.strict = strict
+        self.violations: list[AccessViolation] = []
+        self.ops = 0
+        self._clocks: dict[str, dict[str, int]] = {}
+        self._tls = threading.local()
+        #: region -> (actor, clock snapshot) of the last write
+        self._last_write: dict[tuple[int, int], tuple[str, dict[str, int]]] = {}
+        #: region -> {actor: clock snapshot} of reads since the last write
+        self._reads: dict[tuple[int, int], dict[str, dict[str, int]]] = {}
+
+    # ------------------------------------------------------------- actors
+    def _clock(self, name: str) -> dict[str, int]:
+        clock = self._clocks.get(name)
+        if clock is None:
+            clock = self._clocks[name] = {name: 1}
+        return clock
+
+    def _current(self) -> tuple[str, dict[str, int]]:
+        name = getattr(self._tls, "actor", None) or "main"
+        return name, self._clock(name)
+
+    @contextmanager
+    def actor(self, name: str):
+        """Run the body as logical thread ``name`` (thread-local)."""
+        self._clock(name)
+        prev = getattr(self._tls, "actor", None)
+        self._tls.actor = name
+        try:
+            yield self
+        finally:
+            self._tls.actor = prev
+
+    def fence(self, src: str, dst: str) -> None:
+        """Record a synchronization edge: everything ``src`` did so far
+        happens-before everything ``dst`` does next."""
+        a, b = self._clock(src), self._clock(dst)
+        for k, v in a.items():
+            if b.get(k, 0) < v:
+                b[k] = v
+        a[src] = a.get(src, 0) + 1
+
+    @staticmethod
+    def _ordered(prior: tuple[str, dict[str, int]], actor: str,
+                 clock: dict[str, int]) -> bool:
+        prior_actor, prior_clock = prior
+        if prior_actor == actor:
+            return True  # program order
+        return prior_clock.get(prior_actor, 0) <= clock.get(prior_actor, 0)
+
+    def _violate(self, kind: str, disk: int, block: int,
+                 actor: str, prior_actor: str) -> None:
+        violation = AccessViolation(kind, disk, block, actor, prior_actor)
+        self.violations.append(violation)
+        if self.strict:
+            raise SharedStateRaceError(violation)
+
+    # ---------------------------------------------------------- recording
+    def record_read(self, disk: int, block: int) -> None:
+        self.ops += 1
+        actor, clock = self._current()
+        key = (int(disk), int(block))
+        last = self._last_write.get(key)
+        if last is not None and not self._ordered(last, actor, clock):
+            self._violate("write-read", key[0], key[1], actor, last[0])
+        clock[actor] = clock.get(actor, 0) + 1
+        self._reads.setdefault(key, {})[actor] = dict(clock)
+
+    def record_write(self, disk: int, block: int) -> None:
+        self.ops += 1
+        actor, clock = self._current()
+        key = (int(disk), int(block))
+        last = self._last_write.get(key)
+        if last is not None and not self._ordered(last, actor, clock):
+            self._violate("write-write", key[0], key[1], actor, last[0])
+        for reader, snapshot in self._reads.get(key, {}).items():
+            if not self._ordered((reader, snapshot), actor, clock):
+                self._violate("read-write", key[0], key[1], actor, reader)
+        clock[actor] = clock.get(actor, 0) + 1
+        self._last_write[key] = (actor, dict(clock))
+        self._reads[key] = {}
+
+    def record_reads(self, disks, blocks) -> None:
+        for d, b in zip(disks, blocks):
+            self.record_read(d, b)
+
+    def record_writes(self, disks, blocks) -> None:
+        for d, b in zip(disks, blocks):
+            self.record_write(d, b)
+
+
+def sanitized_online_smoke(
+    p: int = 5, groups: int = 2, block_size: int = 8, fenced: bool = True
+) -> BlockSanitizer:
+    """Drive Algorithm 2 as two sanitized actors over one array.
+
+    The conversion thread and the application thread interleave exactly
+    as the cooperative scheduler would; with ``fenced=True`` every
+    hand-off records the corresponding sync edge (this is the
+    happens-before relation the protocol actually relies on) and the
+    run must be violation-free.  With ``fenced=False`` the hand-offs
+    are dropped, so the app's diagonal-parity patch conflicts with the
+    conversion's earlier parity write — the seeded race the selftest
+    asserts the sanitizer reports.
+    """
+    import numpy as np
+
+    from repro.migration.online import (
+        OnlineCode56Conversion,
+        OnlineReport,
+        OnlineRequest,
+    )
+    from repro.raid.array import BlockArray
+    from repro.raid.layouts import Raid5Layout
+    from repro.raid.raid5 import Raid5Array
+
+    m = p - 1
+    rows = p - 1
+    capacity = groups * rows * (m - 1)
+    data = (
+        np.arange(capacity * block_size, dtype=np.uint8)
+        .reshape(capacity, block_size)
+    )
+    sanitizer = BlockSanitizer()
+    array = BlockArray(m, groups * rows, block_size=block_size)
+    array.attach_sanitizer(sanitizer)
+    Raid5Array(array, Raid5Layout.LEFT_ASYMMETRIC).format_with(data.copy())
+    array.add_disk()
+    conv = OnlineCode56Conversion(array, p)
+    if fenced:  # formatting happened on the main actor
+        sanitizer.fence("main", "conversion")
+        sanitizer.fence("main", "app")
+    report = OnlineReport()
+    served = 0
+    while conv.pending_parity() is not None:
+        with sanitizer.actor("conversion"):
+            conv.generate_step(report)
+            conv.mark_step()
+        # one app write after every other parity — half land on
+        # converted regions (diagonal patch), half on unconverted
+        if served < capacity and served % 2 == 0:
+            if fenced:
+                sanitizer.fence("conversion", "app")
+            with sanitizer.actor("app"):
+                payload = np.full(block_size, 0x5A + served, dtype=np.uint8)
+                conv.serve_request(
+                    OnlineRequest(0.0, served, True, payload), 0.0, report
+                )
+            if fenced:
+                sanitizer.fence("app", "conversion")
+        served += 1
+    return sanitizer

@@ -45,12 +45,16 @@ and no parity left stale — the lost-write-window check.
 from __future__ import annotations
 
 from collections import Counter, defaultdict
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.codes.geometry import CodeLayout
 from repro.migration.plan import ConversionPlan, GroupWork, Location
 from repro.staticcheck.report import Finding
+
+if TYPE_CHECKING:  # runtime imports stay lazy (analyzer convention)
+    from repro.compiled.program import CompiledPlan
 
 __all__ = [
     "analyze_plan",
@@ -78,7 +82,7 @@ def _fill_cells(plan: ConversionPlan, gw: GroupWork) -> list[tuple[tuple[int, in
     """Data cells the engine pulls uncounted into the stripe buffer (step 5)."""
     layout = plan.code.layout
     touched = set(gw.parity_writes) | set(gw.null_writes) | gw.null_cells | set(gw.reads)
-    out = []
+    out: list[tuple[tuple[int, int], Location]] = []
     for cell in layout.data_cells:
         if cell in touched or cell in gw.migrates:
             continue
@@ -91,7 +95,7 @@ def _fill_cells(plan: ConversionPlan, gw: GroupWork) -> list[tuple[tuple[int, in
 def _audit_cells(plan: ConversionPlan, gw: GroupWork) -> list[tuple[tuple[int, int], Location]]:
     """Reused parity cells the engine audits after encoding (step 7)."""
     layout = plan.code.layout
-    out = []
+    out: list[tuple[tuple[int, int], Location]] = []
     for cell in layout.parity_cells:
         if cell in gw.parity_writes or cell in layout.virtual_cells:
             continue
@@ -287,9 +291,11 @@ def analyze_plan(plan: ConversionPlan) -> tuple[int, list[Finding]]:
     return checks, findings
 
 
-def _index_multisets(plan: ConversionPlan, gws: list[GroupWork]) -> dict[str, Counter]:
+def _index_multisets(
+    plan: ConversionPlan, gws: list[GroupWork]
+) -> dict[str, Counter[tuple[int, ...]]]:
     """The operation multisets one phase of the engine performs."""
-    expect: dict[str, Counter] = {
+    expect: dict[str, Counter[tuple[int, ...]]] = {
         k: Counter()
         for k in ("migrate", "null", "trim", "read", "fill", "parity", "check")
     }
@@ -312,7 +318,9 @@ def _index_multisets(plan: ConversionPlan, gws: list[GroupWork]) -> dict[str, Co
     return expect
 
 
-def analyze_program(plan: ConversionPlan, program) -> tuple[int, list[Finding]]:
+def analyze_program(
+    plan: ConversionPlan, program: CompiledPlan
+) -> tuple[int, list[Finding]]:
     """SC-D005: the compiled program is the plan, exactly.
 
     Cross-validates every index vector of every :class:`PhaseProgram`
@@ -381,7 +389,11 @@ def analyze_program(plan: ConversionPlan, program) -> tuple[int, list[Finding]]:
         for op, names in vectors.items():
             arrays = [getattr(ph, name) for name in names]
             checks += 1
-            got = Counter(zip(*(a.tolist() for a in arrays))) if arrays[0].size else Counter()
+            got: Counter[tuple[int, ...]] = (
+                Counter(zip(*(a.tolist() for a in arrays)))
+                if arrays[0].size
+                else Counter()
+            )
             if got != expect[op]:
                 missing = expect[op] - got
                 extra = got - expect[op]
@@ -433,7 +445,9 @@ def analyze_program(plan: ConversionPlan, program) -> tuple[int, list[Finding]]:
     return checks, findings
 
 
-def analyze_fused(plan: ConversionPlan, program) -> tuple[int, list[Finding]]:
+def analyze_fused(
+    plan: ConversionPlan, program: CompiledPlan
+) -> tuple[int, list[Finding]]:
     """SC-D006: the fused region ops *are* the stripe-tensor encode.
 
     The lowering pass (:func:`repro.compiled.compiler.lower_program`)
@@ -488,12 +502,12 @@ def analyze_fused(plan: ConversionPlan, program) -> tuple[int, list[Finding]]:
         ):
             for cell, d, b in zip(cell_v.tolist(), disk_v.tolist(), block_v.tolist()):
                 src[(cell // cps, cell % cps)] = d * bpd + b
-        ref_exp: dict[tuple[int, tuple[int, int]], Counter] = {}
+        ref_exp: dict[tuple[int, tuple[int, int]], Counter[int]] = {}
         for chain in layout.encode_order:
             if chain.parity in layout.virtual_cells:
                 continue
             for slot in range(batch):
-                acc: Counter = Counter()
+                acc: Counter[int] = Counter()
                 for m in chain.members:
                     if m in layout.virtual_cells:
                         continue
@@ -506,7 +520,7 @@ def analyze_fused(plan: ConversionPlan, program) -> tuple[int, list[Finding]]:
                 ref_exp[(slot, chain.parity)] = acc
 
         # ---- independent expansion of the fused region ops
-        fz_exp: dict[tuple[int, int], Counter] = {}  # (slot, chain_index) -> Counter
+        fz_exp: dict[tuple[int, int], Counter[int]] = {}  # (slot, chain_index) -> Counter
         parity_of: dict[int, tuple[int, int]] = {}
         for op in fz.ops:
             checks += 1

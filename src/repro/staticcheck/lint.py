@@ -27,6 +27,16 @@ invariant earlier PRs fought for:
   the store must go through an :class:`~repro.kernels.base.XorKernel`
   backend, or backend selection, instrumentation and the numba path are
   silently bypassed.
+* **SC-L006** — no nondeterminism primitives in the deterministic
+  packages (``repro.core``, ``repro.compiled``, ``repro.migration``,
+  ``repro.faults``).  Every run there must replay bit-identically from
+  an explicit seed — the fault plane's crash schedules, the sweep's
+  shared-memory results and the model checker's state hashes all depend
+  on it.  Flagged: ``time.time`` / ``time.time_ns``, any stdlib
+  ``random`` usage, ``os.urandom``, ``np.random.*`` legacy global-state
+  calls, and *unseeded* ``np.random.default_rng()``.  Allowed:
+  ``time.monotonic`` / ``perf_counter`` (deadlines, not data) and
+  seeded ``default_rng(seed)`` / ``Generator`` / ``SeedSequence``.
 
 The rules operate purely on the AST — no imports of the linted modules
 — so a syntax-level violation is caught even in code that is never
@@ -77,8 +87,16 @@ _XOR_CALLS = frozenset({"bitwise_xor", "xor_reduce", "xor_into"})
 #: the one package whose job is XORing the store
 _XOR_ALLOWED_PREFIX = "kernels/"
 
+#: packages whose behaviour must replay bit-identically from a seed
+_DETERMINISTIC_PREFIXES = ("core/", "compiled/", "migration/", "faults/")
+#: wall-clock readers banned there (monotonic/perf_counter stay legal)
+_TIME_BANNED = frozenset({"time", "time_ns"})
+#: np.random names that carry an explicit seed (everything else is
+#: legacy global-state API)
+_NP_RANDOM_ALLOWED = frozenset({"default_rng", "Generator", "SeedSequence"})
+
 #: rules evaluated per file (the per-file check count)
-RULES = ("SC-L001", "SC-L002", "SC-L003", "SC-L004", "SC-L005")
+RULES = ("SC-L001", "SC-L002", "SC-L003", "SC-L004", "SC-L005", "SC-L006")
 
 
 class _Linter(ast.NodeVisitor):
@@ -87,6 +105,10 @@ class _Linter(ast.NodeVisitor):
         self.findings: list[Finding] = []
         #: stack of per-scope tainted-name sets (module scope at [0])
         self._tainted: list[set[str]] = [set()]
+        #: local binding -> dotted module it names (``np`` -> ``numpy``)
+        self._mod_alias: dict[str, str] = {}
+        #: local bindings of ``numpy.random.default_rng`` (from-imports)
+        self._rng_ctors: set[str] = set()
 
     def _flag(self, rule: str, node: ast.AST, message: str) -> None:
         self.findings.append(
@@ -203,7 +225,121 @@ class _Linter(ast.NodeVisitor):
                 "data) outside repro.kernels — route it through an XorKernel "
                 "backend (repro.kernels.resolve_kernel)",
             )
+        self._check_nondet_call(node)
         self.generic_visit(node)
+
+    # ------------------------------------------------------------ SC-L006
+    @property
+    def _deterministic(self) -> bool:
+        return self.rel.startswith(_DETERMINISTIC_PREFIXES)
+
+    def _resolve_module_attr(self, func: ast.expr) -> tuple[str, str] | None:
+        """Resolve ``alias.a.b(...)`` to ``("module.a", "b")`` when the
+        base name is a tracked module alias, else ``None``."""
+        parts: list[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name) or not parts:
+            return None
+        base = self._mod_alias.get(node.id)
+        if base is None:
+            return None
+        parts.reverse()
+        return ".".join([base, *parts[:-1]]), parts[-1]
+
+    def _flag_nondet(self, node: ast.AST, what: str, fix: str) -> None:
+        self._flag(
+            "SC-L006",
+            node,
+            f"nondeterminism primitive {what} in a deterministic package — "
+            f"{fix}",
+        )
+
+    def _check_nondet_call(self, node: ast.Call) -> None:
+        if not self._deterministic:
+            return
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in self._rng_ctors
+            and not node.args
+            and not node.keywords
+        ):
+            self._flag_nondet(
+                node, "unseeded `default_rng()`", "pass an explicit seed"
+            )
+            return
+        resolved = self._resolve_module_attr(node.func)
+        if resolved is None:
+            return
+        module, attr = resolved
+        if module == "time" and attr in _TIME_BANNED:
+            self._flag_nondet(
+                node,
+                f"`time.{attr}()`",
+                "inject the clock, or use time.monotonic for deadlines",
+            )
+        elif module == "random":
+            self._flag_nondet(
+                node,
+                f"stdlib `random.{attr}()`",
+                "use a seeded np.random.default_rng(seed)",
+            )
+        elif module == "os" and attr == "urandom":
+            self._flag_nondet(
+                node, "`os.urandom()`", "use a seeded np.random.default_rng(seed)"
+            )
+        elif module == "numpy.random":
+            if attr not in _NP_RANDOM_ALLOWED:
+                self._flag_nondet(
+                    node,
+                    f"legacy global-state `np.random.{attr}()`",
+                    "use a seeded np.random.default_rng(seed)",
+                )
+            elif attr == "default_rng" and not node.args and not node.keywords:
+                self._flag_nondet(
+                    node, "unseeded `default_rng()`", "pass an explicit seed"
+                )
+
+    def _record_import(self, alias: ast.alias) -> None:
+        bound = alias.asname or alias.name.split(".", 1)[0]
+        self._mod_alias[bound] = alias.name if alias.asname else bound
+
+    def _check_nondet_from(self, node: ast.ImportFrom, module: str) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name
+            if module == "time" and alias.name in _TIME_BANNED:
+                if self._deterministic:
+                    self._flag_nondet(
+                        node,
+                        f"`from time import {alias.name}`",
+                        "inject the clock, or use time.monotonic for deadlines",
+                    )
+            elif module == "random":
+                if self._deterministic:
+                    self._flag_nondet(
+                        node,
+                        f"`from random import {alias.name}`",
+                        "use a seeded np.random.default_rng(seed)",
+                    )
+            elif module == "os" and alias.name == "urandom":
+                if self._deterministic:
+                    self._flag_nondet(
+                        node,
+                        "`from os import urandom`",
+                        "use a seeded np.random.default_rng(seed)",
+                    )
+            elif module == "numpy.random":
+                if alias.name == "default_rng":
+                    self._rng_ctors.add(bound)
+                elif alias.name not in _NP_RANDOM_ALLOWED and self._deterministic:
+                    self._flag_nondet(
+                        node,
+                        f"legacy global-state `from numpy.random import "
+                        f"{alias.name}`",
+                        "use a seeded np.random.default_rng(seed)",
+                    )
 
     # ------------------------------------------------- SC-L003 / SC-L004
     def _check_mp(self, node: ast.AST, module: str) -> None:
@@ -230,6 +366,7 @@ class _Linter(ast.NodeVisitor):
                     "use BlockArray.bulk_view/credit_ios or the compiled engine",
                 )
             self._check_mp(node, alias.name)
+            self._record_import(alias)
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
@@ -246,6 +383,7 @@ class _Linter(ast.NodeVisitor):
                     "use BlockArray.bulk_view/credit_ios or the compiled engine",
                 )
         self._check_mp(node, module)
+        self._check_nondet_from(node, module)
         if module == "concurrent" and not self.rel.startswith(_MP_ALLOWED_PREFIX):
             # `from concurrent import futures` names the pool machinery too
             for alias in node.names:

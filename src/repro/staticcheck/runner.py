@@ -16,7 +16,7 @@ from collections.abc import Callable
 
 from repro.staticcheck.report import Finding, CheckReport
 
-__all__ = ["ANALYZERS", "run_checks", "main"]
+__all__ = ["ANALYZERS", "DEFAULT_ANALYZERS", "run_checks", "main"]
 
 #: quick sweep (CI smoke / tests); the full sweep covers 5..31
 QUICK_PRIMES: tuple[int, ...] = (5, 7)
@@ -49,12 +49,26 @@ def _run_selftest(primes: tuple[int, ...]) -> tuple[int, list[Finding]]:
     return run_selftest()
 
 
+def _run_concur(primes: tuple[int, ...]) -> tuple[int, list[Finding]]:
+    from repro.staticcheck.concur import run_concur
+
+    # the interleaving model is exhaustive at p=5 and sampled at p=7;
+    # larger primes add states, not protocol branches
+    return run_concur(primes=tuple(p for p in primes if p <= 7) or (5, 7))
+
+
 ANALYZERS: dict[str, Callable[[tuple[int, ...]], tuple[int, list[Finding]]]] = {
     "prover": _run_prover,
     "dataflow": _run_dataflow,
     "lint": _run_lint,
     "selftest": _run_selftest,
+    "concur": _run_concur,
 }
+
+#: what runs when no analyzer is named — the concurrency plane explores
+#: tens of thousands of interleavings, so it is opt-in (``--concur`` /
+#: ``--analyzer concur``); CI gives it a dedicated job
+DEFAULT_ANALYZERS: tuple[str, ...] = ("prover", "dataflow", "lint", "selftest")
 
 
 def run_checks(
@@ -71,7 +85,7 @@ def run_checks(
     from repro.staticcheck.prover import DEFAULT_PRIMES
 
     primes = tuple(primes) if primes else DEFAULT_PRIMES
-    selected = tuple(analyzers) if analyzers else tuple(ANALYZERS)
+    selected = tuple(analyzers) if analyzers else DEFAULT_ANALYZERS
     report = CheckReport()
     for name in selected:
         runner = ANALYZERS.get(name)
@@ -118,6 +132,12 @@ def main(argv: list[str] | None = None) -> int:
         help=f"shorthand for --primes {' '.join(map(str, QUICK_PRIMES))}",
     )
     parser.add_argument(
+        "--concur",
+        action="store_true",
+        help="also run the concurrency plane (interleaving model checker, "
+        "race detector, sanitizer smoke, seeded-defect selftest)",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help="emit the report as JSON instead of text",
@@ -125,11 +145,11 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     primes = tuple(args.primes) if args.primes else (QUICK_PRIMES if args.quick else None)
+    selected = tuple(args.analyzer) if args.analyzer else None
+    if args.concur and "concur" not in (selected or ()):
+        selected = (selected or DEFAULT_ANALYZERS) + ("concur",)
     try:
-        report = run_checks(
-            primes=primes,
-            analyzers=tuple(args.analyzer) if args.analyzer else None,
-        )
+        report = run_checks(primes=primes, analyzers=selected)
     except KeyError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

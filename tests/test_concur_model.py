@@ -1,0 +1,183 @@
+"""Interleaving model checker: exhaustive DFS over Algorithm 2's steps."""
+
+import numpy as np
+
+from repro.migration.online import OnlineCode56Conversion
+from repro.staticcheck.concur.model import (
+    ModelScenario,
+    ModelStats,
+    check_scenario,
+    model_scenarios,
+)
+
+
+class TestCleanProtocol:
+    def test_single_write_scenario_is_clean(self):
+        stats, findings = check_scenario(ModelScenario(p=5, groups=2, lbas=(0,)))
+        assert findings == []
+        assert stats.states > 0
+        assert stats.transitions >= stats.states - 1
+        assert stats.checks > stats.states  # several invariants per state
+
+    def test_pair_scenario_is_clean(self):
+        stats, findings = check_scenario(ModelScenario(p=5, groups=2, lbas=(0, 7)))
+        assert findings == []
+        assert stats.states > 0
+
+    def test_crashes_are_explored(self):
+        """max_crashes=0 removes the crash transitions — strictly fewer
+        states than the default single-crash budget."""
+        base = ModelScenario(p=5, groups=2, lbas=(3,))
+        with_crash, _ = check_scenario(base)
+        without, findings = check_scenario(
+            ModelScenario(p=5, groups=2, lbas=(3,), max_crashes=0)
+        )
+        assert findings == []
+        assert without.states < with_crash.states
+
+    def test_exploration_is_deterministic(self):
+        scenario = ModelScenario(p=5, groups=2, lbas=(5,))
+        first, _ = check_scenario(scenario)
+        second, _ = check_scenario(scenario)
+        assert (first.states, first.transitions, first.checks) == (
+            second.states,
+            second.transitions,
+            second.checks,
+        )
+
+
+class TestScenarioBattery:
+    def test_exhaustive_battery_covers_every_lba(self):
+        scenarios = model_scenarios(5, exhaustive=True)
+        # 2 groups x 4 rows x 3 data disks = 24 single-write scenarios
+        singles = [s for s in scenarios if len(s.lbas) == 1]
+        assert sorted(s.lbas[0] for s in singles) == list(range(24))
+        assert any(len(s.lbas) == 2 for s in scenarios)
+        assert any(len(s.lbas) == 3 for s in scenarios)
+
+    def test_sampled_battery_is_small(self):
+        scenarios = model_scenarios(7, exhaustive=False)
+        assert 0 < len(scenarios) < 12
+        assert all(s.p == 7 for s in scenarios)
+
+    def test_labels_are_distinct(self):
+        scenarios = model_scenarios(5, exhaustive=True)
+        labels = [s.label for s in scenarios]
+        assert len(set(labels)) == len(labels)
+
+    def test_stats_merge(self):
+        a = ModelStats(scenarios=1, states=10, transitions=20, checks=30)
+        a.merge(ModelStats(scenarios=2, states=1, transitions=2, checks=3))
+        assert (a.scenarios, a.states, a.transitions, a.checks) == (3, 11, 22, 33)
+
+
+class TestSeededDefects:
+    """The checker must catch each planted protocol bug (no vacuous green)."""
+
+    SCENARIO = ModelScenario(p=5, groups=2, lbas=(0, 7))
+
+    def test_lost_diagonal_patch_is_caught(self):
+        class LostPatch(OnlineCode56Conversion):
+            def _patch_diagonal(self, group, prow, delta, report):
+                report.writes_to_converted += 1
+                return 2  # claims the I/O, never writes the parity
+
+        _stats, findings = check_scenario(self.SCENARIO, converter_cls=LostPatch)
+        assert {f.rule for f in findings} & {"SC-C001", "SC-C003", "SC-C004"}
+
+    def test_mark_before_write_is_caught(self):
+        class MarkFirst(OnlineCode56Conversion):
+            def generate_step(self, report):
+                pending = self.pending_parity()
+                if pending is not None and self.journal is not None:
+                    self.journal.mark(*pending)
+                return super().generate_step(report)
+
+        _stats, findings = check_scenario(self.SCENARIO, converter_cls=MarkFirst)
+        assert "SC-C002" in {f.rule for f in findings}
+
+    def test_eager_watermark_is_caught(self):
+        class Eager(OnlineCode56Conversion):
+            def mark_step(self):
+                super().mark_step()
+                if self.journal is not None:
+                    ahead = self.pending_parity()
+                    if ahead is not None:
+                        self.journal.mark(*ahead)
+
+        _stats, findings = check_scenario(self.SCENARIO, converter_cls=Eager)
+        assert "SC-C002" in {f.rule for f in findings}
+
+    def test_findings_are_capped_per_scenario(self):
+        class LostPatch(OnlineCode56Conversion):
+            def _patch_diagonal(self, group, prow, delta, report):
+                report.writes_to_converted += 1
+                return 2
+
+        _stats, findings = check_scenario(self.SCENARIO, converter_cls=LostPatch)
+        assert 0 < len(findings) <= 8
+
+
+class TestStepFunctionRefactor:
+    """run() is a driver over the explicit transitions — same bytes."""
+
+    def test_step_api_reaches_run_result(self, rng):
+        from repro.migration.online import OnlineReport
+        from repro.raid import BlockArray, Raid5Array, Raid5Layout
+
+        def build():
+            array = BlockArray(4, 8, block_size=8)
+            r5 = Raid5Array(array, Raid5Layout.LEFT_ASYMMETRIC)
+            data = rng.integers(0, 256, size=(r5.capacity_blocks, 8), dtype=np.uint8)
+            r5.format_with(data.copy())
+            array.add_disk()
+            return array
+
+        rng_state = rng.bit_generator.state
+        via_run = build()
+        OnlineCode56Conversion(via_run, 5).run([])
+
+        rng.bit_generator.state = rng_state  # same formatted bytes
+        via_steps = build()
+        conv = OnlineCode56Conversion(via_steps, 5)
+        report = OnlineReport()
+        while conv.pending_parity() is not None:
+            conv.generate_step(report)
+            conv.mark_step()
+        assert conv.conversion_done
+        assert np.array_equal(via_run.snapshot(), via_steps.snapshot())
+
+    def test_thread_state_roundtrip(self, rng):
+        from repro.migration.online import OnlineReport
+        from repro.raid import BlockArray, Raid5Array, Raid5Layout
+
+        array = BlockArray(4, 8, block_size=8)
+        r5 = Raid5Array(array, Raid5Layout.LEFT_ASYMMETRIC)
+        data = rng.integers(0, 256, size=(r5.capacity_blocks, 8), dtype=np.uint8)
+        r5.format_with(data)
+        array.add_disk()
+        conv = OnlineCode56Conversion(array, 5)
+        report = OnlineReport()
+        conv.generate_step(report)
+        conv.mark_step()
+        saved = conv.thread_state()
+        pending_before = conv.pending_parity()
+        conv.generate_step(report)
+        conv.mark_step()
+        conv.restore_thread_state(saved)
+        assert conv.pending_parity() == pending_before
+
+
+class TestRunnerWiring:
+    def test_concur_is_registered_but_not_default(self):
+        from repro.staticcheck import ANALYZERS, DEFAULT_ANALYZERS
+
+        assert "concur" in ANALYZERS
+        assert "concur" not in DEFAULT_ANALYZERS
+
+    def test_selftest_has_no_false_negatives(self):
+        from repro.staticcheck.concur.selftest import run_concur_selftest
+
+        checks, findings = run_concur_selftest()
+        assert checks >= 8
+        assert findings == []

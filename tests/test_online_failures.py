@@ -191,3 +191,76 @@ class TestVerifyGuards:
         conv.run([], failures=[DiskFailureEvent(time=0.0, disk=1)])
         with pytest.raises(RuntimeError, match="rebuild"):
             conv.verify()
+
+
+class TestJournalWatermarkEdges:
+    """Resume edge cases of the OnlineJournal watermark (Algorithm 2)."""
+
+    P, GROUPS = 5, 2
+    ROWS = P - 1
+
+    def partial(self, rng, steps):
+        """Convert exactly ``steps`` parities through the step API, then
+        'crash' by abandoning the converter (journal + array survive)."""
+        from repro.faults.journal import OnlineJournal
+        from repro.migration.online import OnlineReport
+
+        array, data = fresh(rng, p=self.P, groups=self.GROUPS)
+        journal = OnlineJournal(self.GROUPS, self.ROWS)
+        conv = OnlineCode56Conversion(array, self.P, journal=journal)
+        report = OnlineReport()
+        for _ in range(steps):
+            conv.generate_step(report)
+            conv.mark_step()
+        return array, data, journal
+
+    def assert_complete(self, resumed, array, data):
+        assert resumed.verify()
+        r5 = Raid5Array(array, Raid5Layout.LEFT_ASYMMETRIC, n_disks=self.P - 1)
+        for lba in range(r5.capacity_blocks):
+            assert np.array_equal(r5.read(lba), data[lba]), lba
+
+    def test_resume_exactly_at_group_boundary(self, rng):
+        """Crash with group 0 fully marked: resume must trust every
+        group-0 mark and restart generation at (1, 0), not re-walk or
+        re-write anything inside the completed group."""
+        array, data, journal = self.partial(rng, steps=self.ROWS)
+        assert journal.count() == self.ROWS
+        writes_before = array.writes.copy()
+        resumed = OnlineCode56Conversion(array, self.P, journal=journal)
+        assert resumed.pending_parity() == (1, 0)
+        report = resumed.run([])
+        # only group 1's parities cost conversion ticks on resume
+        assert report.conversion_ticks == self.ROWS * (self.P - 1)
+        # exactly one counted parity write per remaining entry
+        assert array.writes[-1] - writes_before[-1] == self.ROWS
+        self.assert_complete(resumed, array, data)
+
+    def test_resume_after_crash_between_last_mark_and_verify(self, rng):
+        """Crash after the final mark but before verify: the journal is
+        complete, so resume validates it and performs zero conversion."""
+        total = self.GROUPS * self.ROWS
+        array, data, journal = self.partial(rng, steps=total)
+        assert journal.count() == total
+        resumed = OnlineCode56Conversion(array, self.P, journal=journal)
+        assert resumed.conversion_done
+        assert resumed.pending_parity() is None
+        report = resumed.run([])
+        assert report.conversion_ticks == 0
+        self.assert_complete(resumed, array, data)
+
+    def test_duplicated_mark_replay_is_idempotent(self, rng):
+        """A replayed journal tail re-marks entries already marked and
+        carries one record whose parity write never landed: duplicates
+        are harmless, the stale mark is dropped and regenerated."""
+        array, data, journal = self.partial(rng, steps=3)
+        for g, r in ((0, 0), (0, 1), (0, 2)):  # the replayed tail
+            journal.mark(g, r)
+        journal.mark(0, 3)  # record without its parity write
+        resumed = OnlineCode56Conversion(array, self.P, journal=journal)
+        assert not journal.is_marked(0, 3)  # stale: unmarked on validation
+        assert journal.is_marked(0, 2)  # duplicates stayed trusted
+        assert resumed.pending_parity() == (0, 3)
+        resumed.run([])
+        assert journal.count() == self.GROUPS * self.ROWS
+        self.assert_complete(resumed, array, data)

@@ -227,6 +227,115 @@ class TestKernelXorRule:
         assert findings == []
 
 
+class TestNondeterminismRule:
+    DET = "core/conversion.py"
+
+    def rules(self, source, rel=DET):
+        return [f.rule for f in lint(source, rel=rel)]
+
+    def test_flags_wall_clock(self):
+        src = """
+            import time
+
+            def stamp():
+                return time.time()
+        """
+        assert self.rules(src) == ["SC-L006"]
+
+    def test_flags_time_ns_via_alias(self):
+        src = """
+            import time as clock
+
+            def stamp():
+                return clock.time_ns()
+        """
+        assert self.rules(src) == ["SC-L006"]
+
+    def test_monotonic_deadline_allowed(self):
+        src = """
+            import time
+
+            def wait(budget):
+                return time.monotonic() + budget
+        """
+        assert self.rules(src) == []
+
+    def test_flags_stdlib_random(self):
+        src = """
+            import random
+
+            def pick(xs):
+                return random.choice(xs)
+        """
+        assert self.rules(src) == ["SC-L006"]
+
+    def test_flags_random_from_import(self):
+        assert self.rules("from random import Random") == ["SC-L006"]
+
+    def test_flags_os_urandom(self):
+        src = """
+            import os
+
+            def salt():
+                return os.urandom(8)
+        """
+        assert self.rules(src, rel="compiled/compiler.py") == ["SC-L006"]
+
+    def test_flags_legacy_np_random(self):
+        src = """
+            import numpy as np
+
+            def noise(n):
+                return np.random.rand(n)
+        """
+        assert self.rules(src) == ["SC-L006"]
+
+    def test_flags_unseeded_default_rng(self):
+        src = """
+            import numpy as np
+
+            def rng():
+                return np.random.default_rng()
+        """
+        assert self.rules(src) == ["SC-L006"]
+
+    def test_seeded_default_rng_allowed(self):
+        src = """
+            import numpy as np
+
+            def rng(seed):
+                return np.random.default_rng(seed)
+        """
+        assert self.rules(src) == []
+
+    def test_unseeded_from_imported_ctor_flagged(self):
+        src = """
+            from numpy.random import default_rng
+
+            def rng():
+                return default_rng()
+        """
+        assert self.rules(src, rel="faults/plane.py") == ["SC-L006"]
+
+    def test_generator_annotation_allowed(self):
+        src = """
+            import numpy as np
+
+            def soak(rng: np.random.Generator):
+                return rng.random()
+        """
+        assert self.rules(src, rel="faults/chaos.py") == []
+
+    def test_outside_deterministic_packages_not_flagged(self):
+        src = """
+            import time
+
+            def stamp():
+                return time.time()
+        """
+        assert self.rules(src, rel="obs/tracer.py") == []
+
+
 class TestRepoIsClean:
     def test_run_lint_over_src(self):
         checks, findings = run_lint()
