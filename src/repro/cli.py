@@ -99,6 +99,9 @@ def _cmd_convert(args: argparse.Namespace) -> int:
         print(f"convert: {exc}", file=sys.stderr)
         return 2
 
+    if args.online:
+        return _convert_online(args, code, approach)
+
     tracer = obs.get_tracer()
     registry = obs.get_registry()
     observing = args.trace is not None or args.metrics is not None
@@ -177,8 +180,13 @@ def _cmd_convert(args: argparse.Namespace) -> int:
                 sim_res = simulate_closed(stream, model)
             obs.record_sim_result(sim_res, registry, prefix="sim")
         if observing:
+            from repro.kernels import resolve_kernel
+
             obs.record_conversion(result, registry)
             obs.record_compiler_cache(registry)
+            registry.gauge(
+                "kernels.backend", backend=resolve_kernel(args.kernel).name
+            ).set(1.0)
             if plane is not None:
                 obs.record_fault_plane(plane, registry)
 
@@ -199,6 +207,113 @@ def _cmd_convert(args: argparse.Namespace) -> int:
                 metrics=registry.snapshot(),
                 meta={"command": "convert", "code": code, "approach": approach,
                       "p": args.p, "engine": args.engine},
+            )
+            print(f"trace: {args.trace} ({len(doc['traceEvents'])} events; "
+                  f"open in https://ui.perfetto.dev)")
+        if args.metrics is not None:
+            if args.metrics != "-":
+                from pathlib import Path
+
+                Path(args.metrics).write_text(registry.render_json() + "\n")
+                print(f"metrics: {args.metrics}")
+            print("-- metrics snapshot --")
+            print(registry.render_text())
+        return 0 if ok else 1
+    finally:
+        if args.trace is not None:
+            tracer.disable()
+        if observing:
+            registry.enabled = False
+
+
+def _convert_online(args: argparse.Namespace, code: str, approach: str) -> int:
+    """``repro convert --online``: Algorithm 2 live migration.
+
+    Runs the online converter under a seeded application-write schedule,
+    verifies the result, and prints the foreground-latency percentiles
+    (stall + service) alongside the batch/kernel accounting.
+    """
+    from repro import obs
+    from repro.faults.journal import OnlineJournal
+    from repro.migration import build_plan, prepare_source_array
+    from repro.migration.online import OnlineCode56Conversion, OnlineRequest
+
+    if code != "code56" or approach != "direct":
+        print("convert --online: Algorithm 2 converts code56/direct only",
+              file=sys.stderr)
+        return 2
+
+    tracer = obs.get_tracer()
+    registry = obs.get_registry()
+    observing = args.trace is not None or args.metrics is not None
+    if args.trace is not None:
+        tracer.clear()
+        tracer.enable()
+    if observing:
+        registry.clear()
+        registry.enabled = True
+    try:
+        with tracer.span("plan", cat="cli", code=code, approach=approach, p=args.p):
+            plan = build_plan(code, approach, args.p, groups=args.groups or 2)
+        rng = np.random.default_rng(args.seed)
+        with tracer.span("prepare", cat="cli", blocks=plan.data_blocks):
+            array, _data = prepare_source_array(plan, rng, block_size=args.block_size)
+
+        capacity = plan.groups * (args.p - 1) * (args.p - 2)
+        requests = []
+        t = 0.0
+        for _ in range(args.requests):
+            t += float(rng.integers(1, 6))
+            is_write = bool(rng.random() < 0.7)
+            requests.append(OnlineRequest(
+                time=t,
+                lba=int(rng.integers(capacity)),
+                is_write=is_write,
+                payload=(rng.integers(0, 256, size=args.block_size, dtype=np.uint8)
+                         if is_write else None),
+            ))
+
+        journal = OnlineJournal(plan.groups, args.p - 1)
+        conv = OnlineCode56Conversion(
+            array, args.p, journal=journal, batch=args.batch, kernel=args.kernel
+        )
+        with tracer.span("convert.online", cat="cli", batch=args.batch,
+                         kernel=conv.kernel.name, requests=len(requests)):
+            report = conv.run(requests)
+        ok = bool(conv.verify())
+
+        foreground = [s + l for s, l in
+                      zip(report.request_stalls, report.request_latencies)]
+        print(f"online conversion: p={args.p} groups={plan.groups} "
+              f"bs={args.block_size} batch={args.batch} "
+              f"kernel={report.kernel}")
+        print(f"verified: {ok}")
+        print(f"ticks: conversion={report.conversion_ticks} app={report.app_ticks} "
+              f"finish={report.finish_tick:.0f}")
+        print(f"parities: {report.parities_generated} generated, "
+              f"{report.interruptions} interruption(s), "
+              f"{report.writes_to_converted} write(s) patched a diagonal")
+        if args.batch > 1:
+            print(f"runs: {report.runs_committed} committed "
+                  f"(max {report.max_run} parities, "
+                  f"{report.batch_shrinks} deadline shrink(s)), "
+                  f"journal appends={journal.appends}")
+        if foreground:
+            q = np.percentile(foreground, [50, 95, 99])
+            print(f"foreground latency (ticks): p50={q[0]:.1f} "
+                  f"p95={q[1]:.1f} p99={q[2]:.1f} max={max(foreground):.1f}")
+        if observing:
+            obs.record_online_report(report, registry)
+            obs.record_array_io(array, registry, prefix="online.array")
+            registry.gauge("kernels.backend", backend=conv.kernel.name).set(1.0)
+        if args.trace is not None:
+            doc = obs.write_chrome_trace(
+                args.trace,
+                spans=tracer.spans,
+                metrics=registry.snapshot(),
+                meta={"command": "convert", "online": True, "code": code,
+                      "approach": approach, "p": args.p, "batch": args.batch,
+                      "kernel": conv.kernel.name},
             )
             print(f"trace: {args.trace} ({len(doc['traceEvents'])} events; "
                   f"open in https://ui.perfetto.dev)")
@@ -366,6 +481,13 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         fault_soak,
         replay_scenario,
     )
+    from repro.kernels import KernelUnavailableError, set_default_kernel
+
+    try:
+        set_default_kernel(args.kernel)
+    except KernelUnavailableError as exc:
+        print(f"chaos: {exc}", file=sys.stderr)
+        return 2
 
     if args.replay is not None:
         from pathlib import Path
@@ -398,8 +520,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             reports.append(
                 crash_sweep_online(
                     args.p, groups=args.groups, block_size=args.block_size,
-                    seed=args.seed, schedules=args.schedules, sample=args.sample,
-                    artifacts_dir=args.artifacts,
+                    seed=args.seed, schedules=args.schedules, batch=args.batch,
+                    sample=args.sample, artifacts_dir=args.artifacts,
                 )
             )
     if args.soak is not None:
@@ -419,8 +541,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                   f"{r['points_swept']}/{r['crash_events']} crash points "
                   f"x {len(r['variants'])} variants — {status}")
         elif kind == "crash-sweep-online":
-            print(f"{kind} p={r['p']}: {r['runs']} runs over {r['schedules']} "
-                  f"schedules (crash events per schedule: {r['crash_events']}) — {status}")
+            print(f"{kind} p={r['p']} batch={r['batch']}: {r['runs']} runs over "
+                  f"{r['schedules']} schedules (crash events per schedule: "
+                  f"{r['crash_events']}) — {status}")
         else:
             by_kind = ", ".join(f"{k}={v}" for k, v in r["by_kind"].items() if v)
             print(f"{kind} seed={r['seed']}: {r['iterations']} iterations "
@@ -644,6 +767,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "else numpy)")
     p_conv.add_argument("--engine", choices=["audited", "compiled"], default="compiled",
                         help="batched compiled executor (default) or per-block audited engine")
+    p_conv.add_argument("--online", action="store_true",
+                        help="live-migrate via Algorithm 2 under a seeded "
+                             "application-write schedule (code56/direct only)")
+    p_conv.add_argument("--batch", type=int, default=1,
+                        help="online: parity-run budget per conversion slice "
+                             "(>1 enables fused runs + group-committed marks)")
+    p_conv.add_argument("--requests", type=int, default=16,
+                        help="online: seeded application requests to interleave")
     p_conv.add_argument("--disk", default="sata-7200",
                         help="disk preset for the --trace simulated timeline")
     p_conv.add_argument("--trace", default=None, metavar="PATH",
@@ -710,6 +841,12 @@ def build_parser() -> argparse.ArgumentParser:
                          default="both")
     p_chaos.add_argument("--schedules", type=int, default=3,
                          help="online sweep: app-write interleavings per point")
+    p_chaos.add_argument("--batch", type=int, default=1,
+                         help="online sweep: converter run budget (crashes land "
+                              "inside group-commit windows when > 1)")
+    p_chaos.add_argument("--kernel", choices=["numpy", "numba", "auto"],
+                         default="auto",
+                         help="XOR kernel backend for fused parity runs")
     p_chaos.add_argument("--sample", type=int, default=None,
                          help="sweep an evenly spaced subset of crash points "
                               "(default: exhaustive)")

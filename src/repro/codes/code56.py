@@ -23,6 +23,8 @@ one diagonal chain (optimal update penalty 2), and the code is MDS.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.codes.geometry import Cell, ChainKind, CodeLayout, ParityChain
 from repro.util.primes import is_prime
 
@@ -50,6 +52,7 @@ def diagonal_of_cell(p: int, cell: Cell) -> int:
     return (r + c) % p
 
 
+@lru_cache(maxsize=None)
 def diagonal_chain_cells(p: int, parity_row: int) -> tuple[Cell, ...]:
     """Square cells covered by the diagonal parity at ``(parity_row, p-1)``.
 

@@ -222,6 +222,7 @@ def _online_single(
     scenario: FaultScenario,
     reference: np.ndarray | None,
     n_requests: int = 8,
+    batch: int = 1,
 ) -> dict:
     """One online crash/resume cycle under an app-write schedule."""
     from repro.migration.online import OnlineCode56Conversion
@@ -235,7 +236,7 @@ def _online_single(
     crashed = 0
     verified = False
     for _attempt in range(3):
-        conv = OnlineCode56Conversion(array, p, journal=journal)
+        conv = OnlineCode56Conversion(array, p, journal=journal, batch=batch)
         try:
             conv.run(requests[served:])
             verified = conv.verify()
@@ -267,6 +268,7 @@ def crash_sweep_online(
     seed: int = 0,
     schedules: int = 3,
     n_requests: int = 8,
+    batch: int = 1,
     crash_points=None,
     sample: int | None = None,
     artifacts_dir: str | Path | None = None,
@@ -280,6 +282,11 @@ def crash_sweep_online(
     + byte-identity.  Only the conversion thread is crashable — served
     app requests are durable, so the resume harness replays exactly the
     unserved suffix (``requests_served``).
+
+    ``batch > 1`` sweeps the batched converter instead: crashes land
+    inside group-commit windows (whole runs of correct-but-unmarked
+    parities), and the reference bytes stay those of an *unbatched*
+    run — byte-identity then also proves batched == per-parity.
     """
     from repro.migration.online import OnlineCode56Conversion
 
@@ -298,7 +305,7 @@ def crash_sweep_online(
         probe_array, _ = _online_array(p, groups, seed, block_size)
         plane = FaultPlane(FaultScenario(seed=seed))
         plane.attach(probe_array)
-        OnlineCode56Conversion(probe_array, p).run(requests)
+        OnlineCode56Conversion(probe_array, p, batch=batch).run(requests)
         n_events = plane.crash_events_done
         plane.detach()
         events_per_schedule.append(n_events)
@@ -309,7 +316,7 @@ def crash_sweep_online(
                 scenario = FaultScenario(seed=seed).with_crash(k, tear)
                 outcome = _online_single(
                     p, groups, seed, schedule, block_size, scenario, reference,
-                    n_requests=n_requests,
+                    n_requests=n_requests, batch=batch,
                 )
                 runs += 1
                 if not outcome["ok"]:
@@ -322,6 +329,7 @@ def crash_sweep_online(
                             "seed": seed,
                             "schedule": schedule,
                             "n_requests": n_requests,
+                            "batch": batch,
                             "variant": label,
                             "scenario": scenario.to_dict(),
                             "outcome": outcome,
@@ -332,6 +340,7 @@ def crash_sweep_online(
         "p": p,
         "groups": groups,
         "schedules": schedules,
+        "batch": batch,
         "crash_events": events_per_schedule,
         "runs": runs,
         "failures": failures,
@@ -417,13 +426,17 @@ def fault_soak(
         try:
             if kind == "online-crash":
                 schedule = int(rng.integers(3))
+                batch = int(rng.choice((1, 2, p - 1)))
                 scenario = FaultScenario(seed=run_seed).with_crash(
                     int(rng.integers(1, 30)), 0.5 if rng.random() < 0.5 else None
                 )
-                spec.update(schedule=schedule, scenario=scenario.to_dict(), n_requests=6)
+                spec.update(
+                    schedule=schedule, scenario=scenario.to_dict(),
+                    n_requests=6, batch=batch,
+                )
                 ok = _online_single(
                     p, groups, run_seed, schedule, block_size, scenario, None,
-                    n_requests=6,
+                    n_requests=6, batch=batch,
                 )["ok"]
             elif kind == "torn-scrub":
                 # a torn parity write is silent corruption: the conversion
@@ -544,6 +557,7 @@ def replay_scenario(spec: dict) -> dict:
         return _online_single(
             p, groups, seed, spec.get("schedule", 0), block_size, scenario, None,
             n_requests=spec.get("n_requests", 8),
+            batch=spec.get("batch", 1),
         )
     if kind == "torn-scrub":
         ok = _run_torn_scrub(plan, spec.get("engine", "audited"), seed, block_size, scenario)

@@ -27,6 +27,7 @@ their own op/byte tallies for the fault report instead.
 from __future__ import annotations
 
 import hashlib
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -145,6 +146,24 @@ class OnlineJournal:
     def mark(self, group: int, row: int) -> None:
         """Record parity (group, row) as generated — call *after* its write."""
         self._marked[group, row] = True
+        self.appends += 1
+
+    def mark_many(self, entries: Iterable[tuple[int, int]]) -> None:
+        """Group-commit a run of ``(group, row)`` marks in one log append.
+
+        The batched converter's journal flush: issued only after *every*
+        parity write in the run has landed (write-ahead ordering held
+        run-wide), so a crash anywhere before this call leaves the whole
+        run unmarked — correct bytes, regenerated idempotently on
+        resume.  One ``appends`` tick models the single stable-storage
+        flush.
+        """
+        pairs = tuple(entries)
+        if not pairs:
+            return
+        groups = np.fromiter((g for g, _r in pairs), dtype=np.intp, count=len(pairs))
+        rows = np.fromiter((r for _g, r in pairs), dtype=np.intp, count=len(pairs))
+        self._marked[groups, rows] = True
         self.appends += 1
 
     def unmark(self, group: int, row: int) -> None:

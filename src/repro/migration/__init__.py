@@ -44,6 +44,6 @@ __all__ += [
     "OnlineRequest",
 ]
 
-from repro.migration.fast import fast_convert_code56
+from repro.migration.batch import execute_run_fused, fused_run_usable
 
-__all__ += ["fast_convert_code56"]
+__all__ += ["execute_run_fused", "fused_run_usable"]

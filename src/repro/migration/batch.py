@@ -1,0 +1,180 @@
+"""Fused run lowering for the online converter (Algorithm 2, batched).
+
+Between application events the online conversion thread claims a *run*
+of pending diagonal parities (:meth:`OnlineCode56Conversion.pending_run`)
+and, when the array is healthy, hands the whole run to
+:func:`execute_run_fused`: the run is grouped by parity row, each row's
+chain becomes one fused XOR reduction over strided ``bulk_view`` slices
+of the block store (the ISA-L region-op idiom), reduced through the
+selected :class:`~repro.kernels.base.XorKernel` backend into a reused
+scratch pool, and written back through the *counted*
+:meth:`BlockArray.write_blocks` bulk API.  Reads are credited via
+:meth:`BlockArray.credit_ios` with exactly the per-disk totals the
+audited per-parity path performs — zero counter drift.
+
+The lowering never runs when a fault plane is attached or a disk has
+failed (:func:`fused_run_usable`): the views bypass the counted read
+hooks that crash points, sector errors and degraded reconstruction hang
+off, so those runs fall back to the audited per-parity generator inside
+:meth:`OnlineCode56Conversion.generate_run_step` — same run/mark
+protocol, full fault semantics.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.codes.code56 import diagonal_chain_cells
+from repro.kernels import XorKernel
+from repro.obs.metrics import get_registry
+from repro.raid.array import BlockArray
+
+__all__ = ["fused_run_usable", "execute_run_fused", "run_read_credit"]
+
+
+class _RunScratch:
+    """Grow-only scratch backing for run outputs (one flat allocation)."""
+
+    def __init__(self) -> None:
+        self._buf = np.empty(0, dtype=np.uint8)
+
+    def take(self, shape: tuple[int, ...]) -> np.ndarray:
+        n = int(np.prod(shape))
+        if self._buf.size < n:
+            self._buf = np.empty(n, dtype=np.uint8)
+        return self._buf[:n].reshape(shape)
+
+
+_SCRATCH = _RunScratch()
+
+#: destination-tile budget — keep each fused reduction's working set in
+#: cache rather than streaming a giant run extent once per chain cell
+_RUN_TILE_BYTES = 1 << 17
+
+#: below this many destination bytes a run is overhead-bound (one or two
+#: groups per row): gather the whole chain cube in one fancy index and
+#: reduce it in a single kernel call instead of a reduction per row
+_GATHER_RUN_BYTES = 1 << 17
+
+
+@lru_cache(maxsize=None)
+def _chain_tables(p: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-row chain geometry as arrays: ``R[prow, j]``/``C[prow, j]``
+    the square cell at chain position ``j``, and ``credit[prow, disk]``
+    the per-disk read totals one parity of that row bills."""
+    rows, chain_len = p - 1, p - 2
+    r_tab = np.empty((rows, chain_len), dtype=np.intp)
+    c_tab = np.empty((rows, chain_len), dtype=np.intp)
+    credit = np.zeros((rows, p), dtype=np.int64)
+    for prow in range(rows):
+        for j, (r, c) in enumerate(diagonal_chain_cells(p, prow)):
+            r_tab[prow, j] = r
+            c_tab[prow, j] = c
+            credit[prow, c] += 1
+    return r_tab, c_tab, credit
+
+
+def fused_run_usable(array: BlockArray) -> bool:
+    """Fused runs bypass the counted read path, so they are only sound
+    when nothing observes it: no fault plane (crash/tear hooks fire on
+    counted reads) and no failed disks (counted reads raise
+    ``DiskFailure``; views would silently serve stale bytes)."""
+    return array.fault_plane is None and not array.failed_disks
+
+
+def run_read_credit(array: BlockArray, p: int, run: tuple[tuple[int, int], ...]) -> np.ndarray:
+    """Per-disk read totals the audited path would perform for ``run``."""
+    _r_tab, _c_tab, credit = _chain_tables(p)
+    counts = np.zeros(p - 1, dtype=np.int64)
+    for _g, r in run:
+        counts[r] += 1
+    reads = np.zeros(array.n_disks, dtype=np.int64)
+    reads[:p] = counts @ credit
+    return reads
+
+
+def execute_run_fused(
+    array: BlockArray,
+    p: int,
+    run: tuple[tuple[int, int], ...],
+    kernel: XorKernel,
+) -> int:
+    """Generate every diagonal parity of ``run`` in fused region ops.
+
+    ``run`` is a cursor-ordered tuple of ``(group, row)`` pairs.  Returns
+    the conversion-thread cost in Te ticks — ``(p-1)`` per parity, the
+    same ``(p-2)`` chain reads + 1 write the audited path bills on a
+    healthy array.  Byte- and counter-identical to looping
+    ``_generate_parity`` over the run.
+    """
+    if not run:
+        return 0
+    m = p - 1
+    rows = p - 1
+    bs = array.block_size
+    n = len(run)
+
+    max_group = max(g for g, _r in run)
+    span = slice(0, (max_group + 1) * rows)
+    # (disk, group, row, block) view of the square region
+    region = array.bulk_view(slice(0, m), span).reshape(m, max_group + 1, rows, bs)
+
+    out = _SCRATCH.take((n, bs))
+    out_blocks = np.empty(n, dtype=np.intp)
+    xor_bytes = 0
+
+    if n * bs <= _GATHER_RUN_BYTES:
+        # overhead-bound small run (a group or two per row): one
+        # fancy-indexed gather pulls the whole (chain, n, bs) cube, one
+        # kernel call reduces it — no per-row Python loop
+        r_tab, c_tab, _credit = _chain_tables(p)
+        g_arr = np.fromiter((g for g, _r in run), dtype=np.intp, count=n)
+        prows = np.fromiter((r for _g, r in run), dtype=np.intp, count=n)
+        np.multiply(g_arr, rows, out=out_blocks)
+        out_blocks += prows
+        cube = region[c_tab[prows].T, g_arr[None, :], r_tab[prows].T, :]
+        kernel.region_xor_reduce(out[:n], list(cube), init=True)
+        xor_bytes = cube.nbytes
+    else:
+        # streaming run: group entries by parity row — a cursor-ordered
+        # run keeps each row's groups sorted (contiguous when dense) —
+        # and reduce strided views straight off the block store, tiled
+        # to keep the destination working set in cache
+        by_row: dict[int, list[int]] = {}
+        for g, r in run:
+            by_row.setdefault(r, []).append(g)
+        pos = 0
+        for prow in sorted(by_row):
+            gs = by_row[prow]
+            chain = diagonal_chain_cells(p, prow)
+            k = len(gs)
+            out_blocks[pos : pos + k] = np.asarray(gs, dtype=np.intp) * rows + prow
+            contiguous = k == gs[-1] - gs[0] + 1
+            idx = None if contiguous else np.asarray(gs, dtype=np.intp)
+            tile = max(1, min(k, _RUN_TILE_BYTES // bs))
+            for lo in range(0, k, tile):
+                hi = min(k, lo + tile)
+                dst = out[pos + lo : pos + hi]
+                if contiguous:
+                    g0 = gs[0]
+                    sources = [region[c, g0 + lo : g0 + hi, r, :] for r, c in chain]
+                else:
+                    sources = [region[c][idx[lo:hi], r, :] for r, c in chain]
+                kernel.region_xor_reduce(dst, sources, init=True)
+                xor_bytes += len(chain) * dst.nbytes
+            pos += k
+
+    # the views above replaced the counted chain reads; credit the
+    # identical per-disk totals, then write parities through the counted
+    # bulk API (one flush for the whole run)
+    array.credit_ios(reads=run_read_credit(array, p, run))
+    array.write_blocks(np.full(n, m, dtype=np.intp), out_blocks, out[:n])
+
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("online.fused_runs", kernel=kernel.name).inc()
+        registry.counter("online.fused_parities", kernel=kernel.name).inc(n)
+        registry.counter("online.fused_xor_bytes", kernel=kernel.name).inc(xor_bytes)
+    return n * (p - 1)

@@ -36,7 +36,33 @@ and journal flushes:
 * :meth:`~OnlineCode56Conversion.thread_state` /
   :meth:`~OnlineCode56Conversion.restore_thread_state` — snapshot and
   restore the conversion thread's in-memory state (cursor + generated
-  bitmap) for depth-first state-space exploration.
+  bitmap + in-flight run) for depth-first state-space exploration.
+
+**Batched transitions** (``batch > 1``) lower a whole *run* of pending
+parities onto the fused kernel tier between application events:
+
+* :meth:`~OnlineCode56Conversion.pending_run` — the next (up to a
+  budget) pending parities, in cursor order, without mutating state;
+* :meth:`~OnlineCode56Conversion.generate_run_step` — generate every
+  parity of the run: through :func:`repro.migration.batch.
+  execute_run_fused` on a healthy array (region XOR through the
+  selected kernel backend, counted bulk write, credited reads), or the
+  audited per-parity loop under a fault plane / failed disk.  The run
+  stays *in flight* — bytes landed, nothing marked;
+* :meth:`~OnlineCode56Conversion.mark_run_step` — the group commit: one
+  journal flush (:meth:`OnlineJournal.mark_many`) for the whole run,
+  only after every parity write landed.  Write-ahead ordering is
+  preserved run-wide: a crash mid-run leaves correct-but-unmarked
+  parities, regenerated idempotently on resume.
+
+Application writes that arrive while a run is in flight are detected by
+a vectorized overlap check against the run's address interval
+(:meth:`~OnlineCode56Conversion.run_overlaps`): an overlapping write
+patches the already-written (unmarked) parity — XOR commutes, so resume
+stays idempotent — and the scheduler additionally *shrinks* the next
+batch so a run never overshoots a request arrival by more than one
+parity's cost (foreground latency is bounded exactly as in per-parity
+mode).
 
 :meth:`~OnlineCode56Conversion.run` is a driver over exactly these
 transitions, so the cooperative-scheduler behaviour and the model
@@ -57,6 +83,8 @@ from repro.codes.code56 import diagonal_chain_cells
 from repro.codes.registry import get_code
 from repro.faults.errors import ReadFaultError, TransientIOError
 from repro.faults.events import DiskFailureEvent
+from repro.kernels import XorKernel, resolve_kernel
+from repro.migration.batch import execute_run_fused, fused_run_usable
 from repro.obs.tracer import get_tracer
 from repro.raid.array import BlockArray
 from repro.raid.layouts import Raid5Layout, locate_block, parity_disk
@@ -94,9 +122,20 @@ class OnlineReport:
     writes_to_unconverted: int = 0
     finish_tick: float = 0.0
     request_latencies: list[float] = field(default_factory=list)
+    #: per-request queueing stall behind the conversion thread (the
+    #: conversion's overshoot past the arrival instant); foreground
+    #: latency = ``request_stalls[i] + request_latencies[i]``
+    request_stalls: list[float] = field(default_factory=list)
     #: extra reads spent reconstructing blocks of failed disks
     degraded_reads: int = 0
     failures_survived: int = 0
+    #: batched-mode accounting (``batch > 1``)
+    runs_committed: int = 0
+    max_run: int = 0
+    #: runs clipped below the batch budget by an approaching request
+    batch_shrinks: int = 0
+    #: resolved XOR backend for fused runs ("per-parity" when batch == 1)
+    kernel: str = ""
 
 
 class OnlineCode56Conversion:
@@ -119,6 +158,17 @@ class OnlineCode56Conversion:
         write, or a mark that outlived the bytes) is dropped and the
         parity regenerated.  The mark is a hint; the bytes are the
         authority.
+    batch:
+        Conversion-run budget: how many pending parities the conversion
+        thread may claim between application events.  ``1`` (default) is
+        the paper-faithful per-parity interleave; larger budgets lower
+        whole runs onto the fused kernel tier and group-commit their
+        journal marks.  Deadline-aware shrinking keeps foreground
+        latency bounded exactly as in per-parity mode.
+    kernel:
+        XOR backend for fused runs — an :class:`~repro.kernels.base.
+        XorKernel` instance, a registry name (``"numpy"``/``"numba"``/
+        ``"auto"``), or None for the process default.
     """
 
     def __init__(
@@ -127,10 +177,16 @@ class OnlineCode56Conversion:
         p: int,
         block_size: int | None = None,
         journal=None,
+        batch: int = 1,
+        kernel: XorKernel | str | None = None,
     ):
         self.array = array
         self.p = p
         self.m = p - 1
+        if batch < 1:
+            raise ValueError(f"batch budget must be >= 1, got {batch}")
+        self.batch = int(batch)
+        self.kernel = kernel if isinstance(kernel, XorKernel) else resolve_kernel(kernel)
         if array.n_disks < p:
             raise ValueError("add the new disk (Step 2) before converting")
         self.code = get_code("code56", p)
@@ -140,6 +196,9 @@ class OnlineCode56Conversion:
         # generated[g][i] — diagonal parity (i, p-1) of group g written?
         self._generated = np.zeros((self.groups, self.rows), dtype=bool)
         self._cursor = 0  # next (group * rows + row) to generate
+        #: in-flight run: parities written but not yet marked (None = idle)
+        self._run: tuple[tuple[int, int], ...] | None = None
+        self._run_keys: np.ndarray | None = None  # cursor keys, ascending
         self.journal = journal
         #: completed events — a resume harness slices its event lists by
         #: these (app serves are never crash-interrupted, so every event
@@ -223,6 +282,7 @@ class OnlineCode56Conversion:
         """
         tracer = get_tracer()
         report = OnlineReport()
+        report.kernel = self.kernel.name if self.batch > 1 else "per-parity"
         events: list[tuple[float, int, object]] = [
             (r.time, 1, r) for r in requests
         ]
@@ -235,6 +295,8 @@ class OnlineCode56Conversion:
         for _time, _prio, event in events:
             # conversion thread runs until the event arrives
             clock = self._convert_until(event.time, clock, report)
+            # foreground stall: conversion-thread overshoot past arrival
+            stall = max(0.0, clock - event.time)
             clock = max(clock, event.time)
             if isinstance(event, DiskFailureEvent):
                 tracer.instant(
@@ -257,6 +319,7 @@ class OnlineCode56Conversion:
                 clock = self._serve(event, clock, report)
                 span.set(ticks=clock - start)
             report.request_latencies.append(clock - start)
+            report.request_stalls.append(stall)
             self.requests_served += 1
         # drain the remaining conversion work
         clock = self._convert_until(float("inf"), clock, report)
@@ -315,15 +378,125 @@ class OnlineCode56Conversion:
             self.journal.mark(group, row)
         self._cursor += 1
 
-    def thread_state(self) -> tuple[int, np.ndarray]:
-        """Snapshot of the conversion thread (cursor, generated bitmap)."""
-        return self._cursor, self._generated.copy()
+    # ----------------------------------------------- batched run transitions
+    @property
+    def in_flight_run(self) -> tuple[tuple[int, int], ...] | None:
+        """The run whose parity bytes landed but whose marks have not."""
+        return self._run
 
-    def restore_thread_state(self, state: tuple[int, np.ndarray]) -> None:
+    def pending_run(self, budget: int | None = None) -> tuple[tuple[int, int], ...]:
+        """Next up-to-``budget`` pending parities in cursor order.
+
+        Pure query — neither the cursor nor the generated bitmap moves
+        (the commit happens in :meth:`mark_run_step`).  Empty when the
+        thread has drained.
+        """
+        limit = self.batch if budget is None else int(budget)
+        total = self.groups * self.rows
+        run: list[tuple[int, int]] = []
+        cur = self._cursor
+        while cur < total and len(run) < limit:
+            group, row = divmod(cur, self.rows)
+            if not self._generated[group, row]:
+                run.append((group, row))
+            cur += 1
+        return tuple(run)
+
+    def generate_run_step(self, report: OnlineReport, budget: int | None = None) -> int:
+        """Transition: claim a run and write every parity in it — array only.
+
+        On a healthy array the whole run is lowered to fused region ops
+        through the kernel backend (:func:`repro.migration.batch.
+        execute_run_fused` — counted bulk write, credited reads, zero
+        counter drift); under a fault plane or with failed disks it
+        falls back to the audited per-parity generator so degraded
+        reconstruction and crash/fault hooks keep firing at every I/O.
+        Either way nothing is marked: the run stays in flight until
+        :meth:`mark_run_step`, and the whole window is the crash window
+        — a crash leaves correct-but-unmarked parities, regenerated
+        idempotently on resume.  Returns the I/O cost in ticks.
+        """
+        if self._run is not None:
+            raise RuntimeError("a parity run is already in flight; mark it first")
+        run = self.pending_run(budget)
+        if not run:
+            return 0
+        if fused_run_usable(self.array):
+            cost = execute_run_fused(self.array, self.p, run, self.kernel)
+        else:
+            cost = 0
+            for group, row in run:
+                cost += self._generate_parity(group, row, report)
+        self._run = run
+        self._run_keys = np.fromiter(
+            (g * self.rows + r for g, r in run), dtype=np.int64, count=len(run)
+        )
+        return cost
+
+    def mark_run_step(self) -> None:
+        """Transition: group-commit the in-flight run's journal marks.
+
+        One journal flush (:meth:`OnlineJournal.mark_many`) for the
+        whole run — issued only after every parity write in the run has
+        landed, preserving write-ahead ordering run-wide — then the
+        cursor advances past the run.
+        """
+        run = self._run
+        if run is None:
+            raise RuntimeError("no parity run in flight")
+        for group, row in run:
+            self._generated[group, row] = True
+        if self.journal is not None:
+            self.journal.mark_many(run)
+        last_g, last_r = run[-1]
+        self._cursor = max(self._cursor, last_g * self.rows + last_r + 1)
+        self._run = None
+        self._run_keys = None
+
+    def run_overlaps(self, group: int, prow: int) -> bool:
+        """Vectorized overlap check of one parity against the in-flight run.
+
+        An interval pre-filter on the run's cursor-key range, then an
+        exact vectorized membership test — the conflict detector the
+        write path uses to patch parities whose bytes landed but whose
+        marks have not.
+        """
+        keys = self._run_keys
+        if keys is None:
+            return False
+        key = group * self.rows + prow
+        if key < int(keys[0]) or key > int(keys[-1]):
+            return False
+        return bool(np.any(keys == key))
+
+    def thread_state(self) -> tuple[int, np.ndarray, tuple[tuple[int, int], ...] | None]:
+        """Snapshot of the conversion thread (cursor, generated, in-flight run)."""
+        return self._cursor, self._generated.copy(), self._run
+
+    def restore_thread_state(
+        self, state: tuple[int, np.ndarray, tuple[tuple[int, int], ...] | None]
+    ) -> None:
         """Restore a :meth:`thread_state` snapshot (model-checker rewind)."""
-        cursor, generated = state
+        cursor, generated, run = state
         self._cursor = int(cursor)
         self._generated[...] = generated
+        self._run = run
+        self._run_keys = (
+            None
+            if run is None
+            else np.fromiter(
+                (g * self.rows + r for g, r in run), dtype=np.int64, count=len(run)
+            )
+        )
+
+    def _parity_cost_estimate(self) -> int:
+        """Upper bound on one parity's tick cost: ``p-1`` healthy, plus
+        ``m-2`` per failed data disk (a degraded chain read costs ``m-1``
+        instead of 1).  Used to size deadline-shrunk batches — an upper
+        bound guarantees a shrunk run never undershoots the claim."""
+        est = self.p - 1
+        failed_data = sum(1 for d in self.array.failed_disks if d < self.m)
+        return est + failed_data * (self.m - 2)
 
     def _convert_until(self, deadline: float, clock: float, report: OnlineReport) -> float:
         from contextlib import nullcontext
@@ -337,25 +510,69 @@ class OnlineCode56Conversion:
         with get_tracer().span(
             "convert", cat="online", track="conversion", tick=clock,
         ) as span, (plane.crashable() if plane is not None else nullcontext()):
-            while True:
-                pending = self.pending_parity()
-                if pending is None:
-                    break
-                cost = self.generate_step(report)
-                if plane is not None:
-                    # the write-done/mark-missing window: a crash here
-                    # leaves a correct but unmarked parity, regenerated
-                    # (idempotently) on resume
-                    plane.crash_point(f"pre-mark:g{pending[0]}r{pending[1]}")
-                report.conversion_ticks += cost
-                clock += cost
-                self.mark_step()
-                if clock >= deadline:
-                    break
+            if self.batch <= 1:
+                clock = self._convert_per_parity(deadline, clock, report, plane)
+            else:
+                clock = self._convert_batched(deadline, clock, report, plane)
             span.set(
                 ticks=clock - start_tick,
                 parities=int(self._generated.sum()) - start_parities,
             )
+        return clock
+
+    def _convert_per_parity(self, deadline, clock, report, plane) -> float:
+        """Paper-faithful interleave: one parity per generate/mark pair."""
+        while True:
+            pending = self.pending_parity()
+            if pending is None:
+                break
+            cost = self.generate_step(report)
+            if plane is not None:
+                # the write-done/mark-missing window: a crash here
+                # leaves a correct but unmarked parity, regenerated
+                # (idempotently) on resume
+                plane.crash_point(f"pre-mark:g{pending[0]}r{pending[1]}")
+            report.conversion_ticks += cost
+            clock += cost
+            self.mark_step()
+            if clock >= deadline:
+                break
+        return clock
+
+    def _convert_batched(self, deadline, clock, report, plane) -> float:
+        """Claim deadline-shrunk runs and group-commit their marks.
+
+        The budget per run is ``min(batch, ceil((deadline - clock) /
+        cost_estimate))`` (always at least 1, matching per-parity mode's
+        guaranteed minimum progress), so a run overshoots a request
+        arrival by strictly less than one parity's cost — the same
+        foreground-latency bound as the per-parity interleave.
+        """
+        while True:
+            budget = self.batch
+            if deadline != float("inf"):
+                est = self._parity_cost_estimate()
+                room = int(np.ceil((deadline - clock) / est))
+                budget = max(1, min(self.batch, room))
+            cost = self.generate_run_step(report, budget=budget)
+            if cost == 0:
+                break
+            run = self._run
+            assert run is not None
+            if plane is not None:
+                # group-wide write-done/marks-missing window
+                plane.crash_point(
+                    f"pre-mark-run:g{run[0][0]}r{run[0][1]}x{len(run)}"
+                )
+            report.conversion_ticks += cost
+            clock += cost
+            report.runs_committed += 1
+            report.max_run = max(report.max_run, len(run))
+            if budget < self.batch and len(run) == budget:
+                report.batch_shrinks += 1
+            self.mark_run_step()
+            if clock >= deadline:
+                break
         return clock
 
     def _read_block(self, disk: int, block: int, report: OnlineReport) -> tuple[np.ndarray, int]:
@@ -457,9 +674,13 @@ class OnlineCode56Conversion:
             ios += 1
             self.array.write(pd, stripe, np.bitwise_xor(hp, delta))
             ios += 1
-        # diagonal parity only if already generated
+        # diagonal parity if already generated — or written by the
+        # in-flight run (bytes landed, marks pending): the vectorized
+        # overlap check keeps batched runs and app writes coherent.  XOR
+        # commutes, so a crash before the run's marks still resumes
+        # idempotently (the regenerated chain folds the new data in).
         prow = self._diag_parity_row_of(row, disk)
-        if self._generated[group, prow]:
+        if self._generated[group, prow] or self.run_overlaps(group, prow):
             ios += self._patch_diagonal(group, prow, delta, report)
         else:
             report.writes_to_unconverted += 1

@@ -40,6 +40,7 @@ from repro.obs.record import (
     record_compiler_cache,
     record_conversion,
     record_fault_plane,
+    record_online_report,
     record_sim_result,
     record_staticcheck,
 )
@@ -82,6 +83,7 @@ __all__ = [
     "record_compiler_cache",
     "record_conversion",
     "record_fault_plane",
+    "record_online_report",
     "record_sim_result",
     "record_staticcheck",
     # cross-process merging

@@ -17,11 +17,21 @@ from repro.obs.metrics import MetricsRegistry, get_registry
 __all__ = [
     "record_array_io",
     "record_conversion",
+    "record_online_report",
     "record_sim_result",
     "record_compiler_cache",
     "record_staticcheck",
     "record_fault_plane",
 ]
+
+#: foreground-latency buckets in Te ticks — online requests cost whole
+#: ticks (1 for a read, a handful for an interrupted write); queueing
+#: stalls behind a conversion run scale with the backlog and reach
+#: hundreds of ticks on conversion-dominated schedules
+ONLINE_LATENCY_BUCKETS_TICKS: tuple[float, ...] = (
+    1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0, 48.0, 64.0,
+    128.0, 256.0, 512.0, 1024.0,
+)
 
 
 def record_array_io(array, registry: MetricsRegistry | None = None, prefix: str = "array") -> None:
@@ -56,6 +66,50 @@ def record_conversion(result, registry: MetricsRegistry | None = None) -> None:
     registry.gauge("conversion.p").set(plan.p)
     registry.gauge("conversion.groups").set(plan.groups)
     registry.gauge("conversion.data_blocks").set(plan.data_blocks)
+
+
+def record_online_report(
+    report, registry: MetricsRegistry | None = None, prefix: str = "online"
+) -> None:
+    """Counters, batch accounting and the foreground-latency histogram
+    of an :class:`~repro.migration.online.OnlineReport`.
+
+    Foreground latency is what the application observed: the queueing
+    stall behind the conversion thread plus the request's own service
+    ticks (``request_stalls[i] + request_latencies[i]``).  It lands in a
+    tick-bucketed, kernel-labelled histogram so ``repro stats`` renders
+    p50/p95/p99 per backend — the number the batched path must not
+    regress.
+    """
+    registry = registry if registry is not None else get_registry()
+    kernel = report.kernel or "per-parity"
+    for name, value in (
+        ("conversion_ticks", report.conversion_ticks),
+        ("app_ticks", report.app_ticks),
+        ("interruptions", report.interruptions),
+        ("parities_generated", report.parities_generated),
+        ("writes_to_converted", report.writes_to_converted),
+        ("writes_to_unconverted", report.writes_to_unconverted),
+        ("degraded_reads", report.degraded_reads),
+        ("failures_survived", report.failures_survived),
+        ("runs_committed", report.runs_committed),
+        ("batch_shrinks", report.batch_shrinks),
+    ):
+        registry.counter(f"{prefix}.{name}", kernel=kernel).inc(int(value))
+    registry.gauge(f"{prefix}.finish_tick", kernel=kernel).set(float(report.finish_tick))
+    registry.gauge(f"{prefix}.max_run", kernel=kernel).set(float(report.max_run))
+    hist = registry.histogram(
+        f"{prefix}.request_latency_ticks",
+        buckets=ONLINE_LATENCY_BUCKETS_TICKS,
+        kernel=kernel,
+    )
+    stalls = report.request_stalls or [0.0] * len(report.request_latencies)
+    for stall, service in zip(stalls, report.request_latencies):
+        hist.observe(stall + service)
+    for q in (50, 95, 99):
+        registry.gauge(
+            f"{prefix}.request_latency_ticks.p{q}", kernel=kernel
+        ).set(hist.percentile(q))
 
 
 def record_sim_result(result, registry: MetricsRegistry | None = None, prefix: str = "sim") -> None:

@@ -25,7 +25,7 @@ safety invariants at every reachable state:
   horizontal (RAID-5) parity equals the XOR of its row, and every
   *generated* diagonal parity equals its chain XOR.
 
-Transition alphabet:
+Transition alphabet (``batch == 1``, the per-parity protocol):
 
 * ``CONVERT`` — one healthy conversion step (generate + journal mark);
 * ``WRITE i`` — serve application write ``i`` (Algorithm 2 interrupt);
@@ -34,15 +34,32 @@ Transition alphabet:
 * ``CRASH-TORN`` — same, but the parity write tears mid-block before
   the crash (half old bytes, half new).
 
+Batched scenarios (``batch > 1``) split the conversion step at the
+run/mark boundary so the in-flight window — parity bytes landed,
+group-commit pending — is an explicit reachable state that application
+writes interleave into (exercising the converter's vectorized overlap
+check):
+
+* ``GEN`` — :meth:`generate_run_step`: claim and write a whole run
+  (the fused lowering on these healthy model arrays);
+* ``MARK`` — :meth:`mark_run_step`: the single group-commit flush;
+* ``CRASH-WINDOW`` — crash *inside* the window: the run's bytes stand,
+  every mark of the run is lost, reboot and resume;
+* ``CRASH-CLEAN`` / ``CRASH-TORN`` — generate a run then crash before
+  the commit (torn: the run's last parity write tears mid-block).
+
 Partial-order reduction is sound here because the independent pairs
 commute *by construction*: two writes to distinct LBAs touch disjoint
 data blocks and XOR-patch parities (XOR commutes), and a conversion
 step commutes with any write — converting first then patching the
 diagonal, or writing first then folding the new data into the chain
 XOR, produce the same parity bytes.  Crash transitions are treated as
-dependent with everything.  Sleep sets never remove *states* from the
-exploration, only redundant transitions, so per-state invariants keep
-their full coverage.
+dependent with everything.  In batched scenarios only distinct-LBA
+write pairs are treated as independent (``GEN``/``MARK`` interact with
+every write through the overlap window) — conservative, hence still
+sound.  Sleep sets never remove *states* from the exploration, only
+redundant transitions, so per-state invariants keep their full
+coverage.
 """
 
 from __future__ import annotations
@@ -83,12 +100,16 @@ class ModelScenario:
     max_crashes: int = 1
     #: evaluate SC-C003 at every state (else only at post-crash states)
     resume_everywhere: bool = True
+    #: run budget the explorer hands to ``generate_run_step``; 1 keeps
+    #: the per-parity ``generate_step``/``mark_step`` alphabet
+    batch: int = 1
 
     @property
     def label(self) -> str:
+        suffix = f",batch={self.batch}" if self.batch != 1 else ""
         return (
             f"online-code56@p={self.p},groups={self.groups},"
-            f"writes={list(self.lbas)}"
+            f"writes={list(self.lbas)}{suffix}"
         )
 
 
@@ -172,12 +193,13 @@ class _Explorer:
         self.crashes = crashes
 
     def _hash(self) -> bytes:
-        cursor, generated = self.conv.thread_state()
+        cursor, generated, run = self.conv.thread_state()
         h = hashlib.sha256()
         h.update(self.array.snapshot().tobytes())
         h.update(self.journal.marked().tobytes())
         h.update(cursor.to_bytes(4, "little"))
         h.update(generated.tobytes())
+        h.update(repr(run).encode())
         mask = 0
         for i in self.applied:
             mask |= 1 << i
@@ -188,8 +210,13 @@ class _Explorer:
     # ------------------------------------------------------- transitions
     def _enabled(self) -> list[tuple]:
         out: list[tuple] = []
-        if self.conv.pending_parity() is not None:
-            out.append(("C",))
+        batched = self.scenario.batch > 1
+        if batched and self.conv.in_flight_run is not None:
+            out.append(("M",))
+            if self.crashes < self.scenario.max_crashes:
+                out.append(("K",))
+        elif self.conv.pending_parity() is not None:
+            out.append(("G",) if batched else ("C",))
             if self.crashes < self.scenario.max_crashes:
                 out.append(("KC",))
                 out.append(("KT",))
@@ -198,14 +225,17 @@ class _Explorer:
                 out.append(("W", i))
         return out
 
-    @staticmethod
-    def _independent(a: tuple, b: tuple) -> bool:
+    def _independent(self, a: tuple, b: tuple) -> bool:
         # crashes are dependent with everything (they reshape the whole
         # thread state); distinct-LBA writes and write-vs-convert commute
-        if a[0] in ("KC", "KT") or b[0] in ("KC", "KT"):
+        if a[0] in ("KC", "KT", "K") or b[0] in ("KC", "KT", "K"):
             return False
         if a[0] == "W" and b[0] == "W":
             return a[1] != b[1]  # distinct scenario writes → distinct LBAs
+        if self.scenario.batch > 1:
+            # GEN/MARK interact with every write through the in-flight
+            # overlap window — keep them dependent (conservative, sound)
+            return False
         return a != b
 
     def _serve_write(self, i: int) -> None:
@@ -230,14 +260,36 @@ class _Explorer:
             self.conv.generate_step(OnlineReport())
             self.conv.mark_step()
             return
-        # crash variants: the pending parity's write lands (clean) or
-        # tears (torn), the mark is lost with the process, then reboot
-        pending = self.conv.pending_parity()
-        assert pending is not None
-        group, prow = pending
+        if kind == "G":
+            self.conv.generate_run_step(OnlineReport(), budget=self.scenario.batch)
+            return
+        if kind == "M":
+            self.conv.mark_run_step()
+            return
+        if kind == "K":
+            # crash inside the group-commit window: the run's parity
+            # bytes stand, its marks were never flushed, the thread dies
+            self.crashes += 1
+            self._check_watermark()
+            self.conv = self.converter_cls(self.array, self.p, journal=self.journal)
+            return
+        # crash variants: the pending work's parity writes land (clean)
+        # or the last one tears (torn), the mark is lost with the
+        # process, then reboot
+        if self.scenario.batch > 1:
+            run = self.conv.pending_run(self.scenario.batch)
+            assert run
+            group, prow = run[-1]
+        else:
+            pending = self.conv.pending_parity()
+            assert pending is not None
+            group, prow = pending
         block = group * self.rows + prow
         pre = self.array.raw(self.m, block).copy()
-        self.conv.generate_step(OnlineReport())
+        if self.scenario.batch > 1:
+            self.conv.generate_run_step(OnlineReport(), budget=self.scenario.batch)
+        else:
+            self.conv.generate_step(OnlineReport())
         if kind == "KT":
             torn = self.array.raw(self.m, block).copy()
             half = torn.shape[0] // 2
@@ -327,7 +379,12 @@ class _Explorer:
                     f"after [{trail}]",
                 )
                 break
-        _cursor, generated = self.conv.thread_state()
+        _cursor, generated, run = self.conv.thread_state()
+        # an in-flight run's bytes have landed; they must already be
+        # chain-consistent (this is what proves the overlap check patches
+        # writes into unmarked in-window parities)
+        for g, r in run or ():
+            generated[g, r] = True
         for group in range(self.scenario.groups):
             for row in range(self.rows):
                 if not generated[group, row]:
@@ -347,6 +404,8 @@ class _Explorer:
         """Deterministic completion: remaining writes in order, then convert."""
         from repro.migration.online import OnlineReport
 
+        if self.conv.in_flight_run is not None:
+            self.conv.mark_run_step()
         for i in range(len(self.payloads)):
             if i not in self.applied:
                 self._serve_write(i)
@@ -435,7 +494,14 @@ class _Explorer:
     def _fmt(t: tuple) -> str:
         if t[0] == "W":
             return f"W{t[1]}"
-        return {"C": "C", "KC": "crash", "KT": "torn-crash"}[t[0]]
+        return {
+            "C": "C",
+            "G": "gen",
+            "M": "mark",
+            "K": "window-crash",
+            "KC": "crash",
+            "KT": "torn-crash",
+        }[t[0]]
 
 
 def check_scenario(
@@ -473,9 +539,13 @@ def model_scenarios(p: int, exhaustive: bool) -> list[ModelScenario]:
     ``exhaustive`` (p=5): two groups; a single-write scenario for *every*
     LBA (subsuming the SC-D010 boundary sweep — the DFS covers every
     conversion-progress point, plus every crash placement), pair
-    scenarios over representative (row, disk) geometry classes, and one
-    triple.  Sampled (p=7): one group, a spread of single writes and a
-    couple of pairs.
+    scenarios over representative (row, disk) geometry classes, one
+    triple, and the batched protocol re-proved for every run budget of
+    {2, rows, groups*rows} — a two-parity run, one full parity row span,
+    and a single run covering the whole conversion — over the same
+    representative singles plus a pair subset.  Sampled (p=7): one
+    group, a spread of single writes, a couple of pairs and two batched
+    scenarios.
     """
     rows = p - 1
     m = p - 1
@@ -493,7 +563,18 @@ def model_scenarios(p: int, exhaustive: bool) -> list[ModelScenario]:
             for b in reps[i + 1 :]
         ]
         triple = [ModelScenario(p=p, groups=groups, lbas=tuple(reps[:3]))]
-        return singles + pairs + triple
+        batch_sizes = (2, rows, groups * rows)
+        batched = [
+            ModelScenario(p=p, groups=groups, lbas=(lba,), batch=bsz)
+            for bsz in batch_sizes
+            for lba in reps
+        ] + [
+            ModelScenario(p=p, groups=groups, lbas=(a, b), batch=bsz)
+            for bsz in batch_sizes
+            for i, a in enumerate(reps[:4])
+            for b in reps[i + 1 : 4]
+        ]
+        return singles + pairs + triple + batched
     groups = 1
     capacity = groups * rows * (m - 1)
     step = max(1, capacity // 6)
@@ -512,7 +593,17 @@ def model_scenarios(p: int, exhaustive: bool) -> list[ModelScenario]:
             resume_everywhere=False,
         ),
     ]
-    return singles + pairs
+    batched = [
+        ModelScenario(
+            p=p, groups=groups, lbas=(sampled[0],), batch=rows,
+            resume_everywhere=False,
+        ),
+        ModelScenario(
+            p=p, groups=groups, lbas=(sampled[0], sampled[-1]), batch=2,
+            resume_everywhere=False,
+        ),
+    ]
+    return singles + pairs + batched
 
 
 def run_model_check(

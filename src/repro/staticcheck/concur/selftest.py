@@ -16,6 +16,10 @@ Probes:
   model checker's post-crash SC-C002 sweep must flag.
 * **eager watermark** — the journal runs one entry ahead of generation;
   same SC-C002 obligation.
+* **group-commit-before-run** — the batched converter's ``mark_many``
+  flush lands before the run's parity writes; a crash inside the run
+  then leaves marked-but-stale watermarks that the batched-scenario
+  SC-C002 sweep must flag.
 * **racy cache write** — a worker-context function publishing a shared
   file without the atomic-rename idiom; the AST race detector must flag
   SC-R002 (plus SC-R001/R003/R004 probes for the other rules).
@@ -75,16 +79,27 @@ def _model_probes() -> tuple[int, list[Finding]]:
                 if ahead is not None:
                     self.journal.mark(*ahead)
 
+    class GroupCommitBeforeRun(OnlineCode56Conversion):
+        """Defect: the batched group commit precedes the parity writes."""
+
+        def generate_run_step(self, report, budget=None):
+            run = self.pending_run(budget)
+            if run and self.journal is not None:
+                self.journal.mark_many(run)
+            return super().generate_run_step(report, budget=budget)
+
     scenario = ModelScenario(p=5, groups=2, lbas=(0, 7))
+    batched = ModelScenario(p=5, groups=2, lbas=(0, 7), batch=2)
     probes = (
-        ("lost-diagonal-patch", LostDiagonalPatch,
+        ("lost-diagonal-patch", scenario, LostDiagonalPatch,
          {"SC-C001", "SC-C003", "SC-C004"}),
-        ("mark-before-write", MarkBeforeWrite, {"SC-C002"}),
-        ("eager-watermark", EagerWatermark, {"SC-C002"}),
+        ("mark-before-write", scenario, MarkBeforeWrite, {"SC-C002"}),
+        ("eager-watermark", scenario, EagerWatermark, {"SC-C002"}),
+        ("group-commit-before-run", batched, GroupCommitBeforeRun, {"SC-C002"}),
     )
     findings: list[Finding] = []
-    for name, cls, expected in probes:
-        _stats, caught = check_scenario(scenario, converter_cls=cls)
+    for name, scen, cls, expected in probes:
+        _stats, caught = check_scenario(scen, converter_cls=cls)
         if not {f.rule for f in caught} & expected:
             findings.append(_miss(name, " or ".join(sorted(expected))))
     return len(probes), findings

@@ -11,9 +11,10 @@ invariant earlier PRs fought for:
   hot-path module (the compiled executor and the bulk helpers exist
   precisely to batch those): a ``for ... in range(...)`` whose body
   calls ``.read(`` / ``.write(`` / ``.write_zero(`` is flagged.
-* **SC-L003** — no *new* imports of the deprecated
-  ``repro.migration.fast`` shim outside its own package exports and the
-  code that still intentionally references it.
+* **SC-L003** — no imports of ``repro.migration.fast`` anywhere: the
+  deprecated shim is deleted (its fused lowering lives on as
+  ``repro.migration.batch`` behind the kernel tier), and the allowance
+  set is empty so not even a compatibility re-export may revive it.
 * **SC-L004** — ``multiprocessing`` (and ``concurrent.futures``) is
   imported only inside ``repro.sweep``.  Process management, shared
   memory and the resource-tracker workarounds live behind one audited
@@ -64,16 +65,13 @@ _PRIVATE_ALLOWED = frozenset({"raid/array.py"})
 
 #: modules whose docstrings promise batched I/O — per-block loops banned
 HOT_PATH_MODULES = frozenset(
-    {"compiled/executor.py", "util/blocks.py", "migration/fast.py"}
+    {"compiled/executor.py", "util/blocks.py", "migration/batch.py"}
 )
 _PER_BLOCK_CALLS = frozenset({"read", "write", "write_zero"})
 
 _DEPRECATED_MODULE = "repro.migration.fast"
-#: the shim itself, the package export keeping the public name alive,
-#: and this package's own self-test fixtures
-_DEPRECATED_ALLOWED = frozenset(
-    {"migration/__init__.py", "migration/fast.py"}
-)
+#: the module is deleted — no file may import it, not even a shim
+_DEPRECATED_ALLOWED: frozenset[str] = frozenset()
 
 #: process-management modules confined to the sweep package
 _MP_MODULES = frozenset({"multiprocessing", "concurrent.futures"})
@@ -362,8 +360,8 @@ class _Linter(ast.NodeVisitor):
                 self._flag(
                     "SC-L003",
                     node,
-                    "import of deprecated repro.migration.fast — "
-                    "use BlockArray.bulk_view/credit_ios or the compiled engine",
+                    "import of deleted repro.migration.fast — use "
+                    "repro.migration.batch or the compiled engine",
                 )
             self._check_mp(node, alias.name)
             self._record_import(alias)
@@ -379,8 +377,8 @@ class _Linter(ast.NodeVisitor):
                 self._flag(
                     "SC-L003",
                     node,
-                    "import of deprecated repro.migration.fast — "
-                    "use BlockArray.bulk_view/credit_ios or the compiled engine",
+                    "import of deleted repro.migration.fast — use "
+                    "repro.migration.batch or the compiled engine",
                 )
         self._check_mp(node, module)
         self._check_nondet_from(node, module)

@@ -50,15 +50,27 @@ class TestScenarioBattery:
     def test_exhaustive_battery_covers_every_lba(self):
         scenarios = model_scenarios(5, exhaustive=True)
         # 2 groups x 4 rows x 3 data disks = 24 single-write scenarios
-        singles = [s for s in scenarios if len(s.lbas) == 1]
+        singles = [s for s in scenarios if len(s.lbas) == 1 and s.batch == 1]
         assert sorted(s.lbas[0] for s in singles) == list(range(24))
         assert any(len(s.lbas) == 2 for s in scenarios)
         assert any(len(s.lbas) == 3 for s in scenarios)
+
+    def test_exhaustive_battery_reproves_batched_budgets(self):
+        """ISSUE 9: the batched protocol is re-proved at run budgets
+        {2, rows, groups*rows} alongside the per-parity battery."""
+        scenarios = model_scenarios(5, exhaustive=True)
+        budgets = {s.batch for s in scenarios}
+        assert budgets == {1, 2, 4, 8}
+        for b in (2, 4, 8):
+            batched = [s for s in scenarios if s.batch == b]
+            assert any(len(s.lbas) == 1 for s in batched)
+            assert any(len(s.lbas) == 2 for s in batched)
 
     def test_sampled_battery_is_small(self):
         scenarios = model_scenarios(7, exhaustive=False)
         assert 0 < len(scenarios) < 12
         assert all(s.p == 7 for s in scenarios)
+        assert any(s.batch > 1 for s in scenarios)
 
     def test_labels_are_distinct(self):
         scenarios = model_scenarios(5, exhaustive=True)
@@ -116,6 +128,68 @@ class TestSeededDefects:
 
         _stats, findings = check_scenario(self.SCENARIO, converter_cls=LostPatch)
         assert 0 < len(findings) <= 8
+
+
+class TestBatchedProtocol:
+    """Run/mark transitions: the group-commit window is model-checked."""
+
+    def test_batched_scenarios_are_clean(self):
+        for batch in (2, 4, 8):
+            stats, findings = check_scenario(
+                ModelScenario(p=5, groups=2, lbas=(0,), batch=batch)
+            )
+            assert findings == []
+            assert stats.states > 0
+
+    def test_batched_pair_is_clean(self):
+        _stats, findings = check_scenario(
+            ModelScenario(p=5, groups=2, lbas=(0, 7), batch=4)
+        )
+        assert findings == []
+
+    def test_batched_labels_carry_budget(self):
+        plain = ModelScenario(p=5, groups=2, lbas=(0,))
+        batched = ModelScenario(p=5, groups=2, lbas=(0,), batch=4)
+        assert "batch" not in plain.label
+        assert "batch=4" in batched.label
+
+    def test_group_commit_before_run_is_caught(self):
+        class MarkManyFirst(OnlineCode56Conversion):
+            def generate_run_step(self, report, budget=None):
+                run = self.pending_run(budget)
+                if run and self.journal is not None:
+                    self.journal.mark_many(run)
+                return super().generate_run_step(report, budget=budget)
+
+        _stats, findings = check_scenario(
+            ModelScenario(p=5, groups=2, lbas=(0, 7), batch=2),
+            converter_cls=MarkManyFirst,
+        )
+        assert "SC-C002" in {f.rule for f in findings}
+
+    def test_blind_overlap_check_is_caught(self):
+        """A write landing inside the run window must be patched into the
+        in-flight parity — disabling the overlap check is a real bug."""
+
+        class BlindOverlap(OnlineCode56Conversion):
+            def run_overlaps(self, group, prow):
+                return False
+
+        _stats, findings = check_scenario(
+            ModelScenario(p=5, groups=2, lbas=(0, 7), batch=4),
+            converter_cls=BlindOverlap,
+        )
+        assert {f.rule for f in findings} & {"SC-C003", "SC-C004"}
+
+    def test_window_crash_is_explored(self):
+        """max_crashes=0 removes K/KC/KT from the batched alphabet too."""
+        base = ModelScenario(p=5, groups=2, lbas=(3,), batch=2)
+        with_crash, _ = check_scenario(base)
+        without, findings = check_scenario(
+            ModelScenario(p=5, groups=2, lbas=(3,), batch=2, max_crashes=0)
+        )
+        assert findings == []
+        assert without.states < with_crash.states
 
 
 class TestStepFunctionRefactor:

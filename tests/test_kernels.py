@@ -238,3 +238,88 @@ class TestByteIdentity:
         )
         result = execute_plan_compiled(plan, fused, data, kernel=NumpyXorKernel())
         assert verify_conversion(result)
+
+
+class TestOnlineBackendMatrix:
+    """Batched online conversion under every backend == per-parity bytes.
+
+    The live-migration analogue of TestByteIdentity: batch sizes x
+    backends x {healthy, degraded} x crash/resume at run boundaries,
+    always byte-compared against the audited per-parity converter.
+    """
+
+    @staticmethod
+    def _array(block_size=8, seed=0):
+        plan = build_plan("code56", "direct", 5, groups=2)
+        array, _data = prepare_source_array(
+            plan, np.random.default_rng(seed), block_size=block_size
+        )
+        return array
+
+    @staticmethod
+    def _requests(n=10, seed=2, block_size=8):
+        from repro.migration.online import OnlineRequest
+
+        rng = np.random.default_rng(seed)
+        reqs, t = [], 0.0
+        for _ in range(n):
+            t += float(rng.integers(1, 6))
+            is_write = bool(rng.random() < 0.7)
+            reqs.append(OnlineRequest(
+                time=t, lba=int(rng.integers(24)), is_write=is_write,
+                payload=(rng.integers(0, 256, size=block_size, dtype=np.uint8)
+                         if is_write else None),
+            ))
+        return reqs
+
+    @pytest.mark.parametrize("block_size", (16, 4096))
+    @pytest.mark.parametrize("batch", (2, 4, 8))
+    @pytest.mark.parametrize("kernel_name", BACKENDS)
+    def test_healthy_identity(self, kernel_name, batch, block_size):
+        from repro.migration.online import OnlineCode56Conversion
+
+        plan = build_plan("code56", "direct", 5, groups=2)
+        ref, _ = prepare_source_array(
+            plan, np.random.default_rng(0), block_size=block_size
+        )
+        OnlineCode56Conversion(ref, 5).run(self._requests(block_size=block_size))
+
+        arr, _ = prepare_source_array(
+            plan, np.random.default_rng(0), block_size=block_size
+        )
+        conv = OnlineCode56Conversion(arr, 5, batch=batch, kernel=kernel_name)
+        report = conv.run(self._requests(block_size=block_size))
+
+        assert conv.verify()
+        assert report.kernel == kernel_name
+        assert np.array_equal(ref.snapshot(), arr.snapshot())
+        assert np.array_equal(ref.reads, arr.reads)
+        assert np.array_equal(ref.writes, arr.writes)
+
+    @pytest.mark.parametrize("kernel_name", BACKENDS)
+    def test_degraded_identity(self, kernel_name):
+        from repro.migration.online import OnlineCode56Conversion
+
+        ref = self._array()
+        ref.fail_disk(2)
+        OnlineCode56Conversion(ref, 5).run([])
+
+        arr = self._array()
+        arr.fail_disk(2)
+        conv = OnlineCode56Conversion(arr, 5, batch=4, kernel=kernel_name)
+        conv.run([])
+        assert np.array_equal(ref.snapshot(), arr.snapshot())
+
+    @pytest.mark.parametrize("kernel_name", BACKENDS)
+    def test_crash_resume_at_run_boundaries(self, kernel_name):
+        from repro.faults.chaos import crash_sweep_online
+        from repro.kernels import set_default_kernel
+
+        set_default_kernel(kernel_name)
+        try:
+            report = crash_sweep_online(
+                5, groups=2, schedules=1, batch=4, sample=6
+            )
+        finally:
+            set_default_kernel("auto")
+        assert report["ok"], report["failures"]

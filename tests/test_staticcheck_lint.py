@@ -94,9 +94,26 @@ class TestDeprecatedImportRule:
         findings = lint("from repro.migration import fast")
         assert [f.rule for f in findings] == ["SC-L003"]
 
-    def test_allowed_in_shim_and_package(self):
+    def test_no_allowance_anywhere(self):
+        """The shim is deleted — even the old allowance set members
+        (the package __init__ and the shim itself) are flagged now."""
         for rel in ("migration/__init__.py", "migration/fast.py"):
-            assert lint("from repro.migration import fast", rel=rel) == []
+            findings = lint("from repro.migration import fast", rel=rel)
+            assert [f.rule for f in findings] == ["SC-L003"], rel
+
+    def test_batch_module_is_hot_path(self):
+        from repro.staticcheck.lint import HOT_PATH_MODULES
+
+        assert "migration/batch.py" in HOT_PATH_MODULES
+        assert "migration/fast.py" not in HOT_PATH_MODULES
+        findings = lint(
+            """
+            for b in range(n):
+                array.write(d, b, payload)
+            """,
+            rel="migration/batch.py",
+        )
+        assert [f.rule for f in findings] == ["SC-L002"]
 
     def test_other_migration_imports_allowed(self):
         assert lint("from repro.migration import build_plan") == []
