@@ -1,0 +1,179 @@
+"""Fleet service under load: acceptance gates, determinism, throughput.
+
+The self-healing fleet (``repro.fleet``) migrates many Code 5-6 volumes
+concurrently while serving foreground traffic, rebuilding failed disks
+from hot spares and pausing conversion whenever a tenant's QoS breaker
+trips.  This bench runs the ISSUE acceptance configuration — 100
+volumes (16 under ``REPRO_BENCH_SMOKE``), mid-migration disk failures
+injected on three of them — and lands three sections in
+``BENCH_fleet.json``:
+
+* **acceptance** — the full faulted fleet; every report gate
+  (``all_terminal``, ``zero_divergence``, ``qos_ok``, ``no_errors``)
+  is asserted inside the timed run, so a fast-but-wrong fleet cannot
+  pass, and every injected failure must complete through spare rebuild.
+* **determinism** — the same config re-run with a different client-pool
+  width; per-volume results are tick-domain deterministic, so the two
+  reports must agree volume-for-volume on state, bytes, latency and
+  recovery counters regardless of OS scheduling.
+* **throughput** — volumes drained per wall-clock second at each pool
+  width, plus the worst closed-breaker p99 per tenant against its
+  target (the number the QoS gate scores).
+
+Set ``REPRO_BENCH_SMOKE=1`` for the CI-sized run.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.fleet import FleetConfig, FleetService
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+VOLUMES = 16 if SMOKE else 100
+REQUESTS = 12 if SMOKE else 16
+FAIL_VOLUMES = (3, 7, 11) if SMOKE else (7, 23, 61)
+CLIENTS = 8
+SPARES = 4
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
+
+#: the result keys that must be bit-stable across client-pool widths —
+#: everything except wall-clock, which legitimately varies
+_DETERMINISTIC_KEYS = (
+    "state", "transitions", "requests_served", "writes_applied",
+    "parities_generated", "conversion_ticks", "finish_tick", "crashes",
+    "resumes", "rebuilds_completed", "degraded_reads", "verified",
+    "divergent_blocks", "latency", "breaker", "qos_p99_ticks",
+)
+
+
+def _config(clients: int = CLIENTS) -> FleetConfig:
+    return FleetConfig(
+        volumes=VOLUMES,
+        clients=clients,
+        spares=SPARES,
+        seed=2026,
+        requests_per_volume=REQUESTS,
+        batch=4,
+        fail_volumes=FAIL_VOLUMES,
+        fail_disk=1,
+    )
+
+
+def _gated_run(clients: int) -> tuple[dict, float]:
+    """One timed fleet run with every acceptance gate asserted."""
+    t0 = time.perf_counter()
+    report = FleetService(_config(clients)).run()
+    elapsed = time.perf_counter() - t0
+    assert report["ok"], {
+        "gates": report["gates"],
+        "errors": report["errors"],
+        "qos_violations": report["qos_violations"],
+    }
+    assert report["divergent_blocks"] == 0
+    assert report["volumes_complete"] == VOLUMES, report["states"]
+    assert report["rebuilds_completed"] >= len(FAIL_VOLUMES), (
+        f"only {report['rebuilds_completed']} spare rebuilds for "
+        f"{len(FAIL_VOLUMES)} injected failures"
+    )
+    for vid in FAIL_VOLUMES:
+        vol = report["volumes"][vid]
+        assert vol["state"] == "complete", (vid, vol["state"], vol["error"])
+        assert vol["rebuilds_completed"] >= 1, (vid, vol["transitions"])
+    return report, elapsed
+
+
+def _acceptance() -> tuple[dict, dict]:
+    report, elapsed = _gated_run(CLIENTS)
+    section = {
+        "volumes": VOLUMES,
+        "clients": CLIENTS,
+        "spares": SPARES,
+        "fail_volumes": list(FAIL_VOLUMES),
+        "elapsed_s": round(elapsed, 4),
+        "volumes_per_s": round(VOLUMES / elapsed, 1),
+        "gates": report["gates"],
+        "states": report["states"],
+        "rebuilds_completed": report["rebuilds_completed"],
+        "breaker_trips": report["breaker_trips"],
+        "crashes": report["crashes"],
+        "resumes": report["resumes"],
+        "degraded_reads": report["degraded_reads"],
+        "tenants": report["tenants"],
+    }
+    return report, section
+
+
+def _determinism(baseline: dict) -> dict:
+    """Re-run with a different pool width; per-volume results must match.
+
+    Volumes share nothing but the spare pool, and contention for it only
+    arises in configs where demand exceeds supply (not this one), so the
+    thread schedule must not leak into any per-volume number.
+    """
+    other_clients = 2 if CLIENTS != 2 else 3
+    report, elapsed = _gated_run(other_clients)
+    mismatches = []
+    for a, b in zip(baseline["volumes"], report["volumes"]):
+        for key in _DETERMINISTIC_KEYS:
+            if a[key] != b[key]:
+                mismatches.append((a["volume_id"], key))
+    assert not mismatches, (
+        f"fleet results depend on client-pool width: {mismatches[:5]}"
+    )
+    return {
+        "clients_compared": [CLIENTS, other_clients],
+        "elapsed_s": round(elapsed, 4),
+        "volumes_compared": VOLUMES,
+        "keys_compared": list(_DETERMINISTIC_KEYS),
+        "bit_stable": True,
+    }
+
+
+def bench_fleet(benchmark, show):
+    def _run() -> dict:
+        baseline, acceptance = _acceptance()
+        determinism = _determinism(baseline)
+        return {
+            "meta": {
+                "smoke": SMOKE,
+                "cpus": os.cpu_count(),
+                "config": _config().to_dict(),
+            },
+            "acceptance": acceptance,
+            "determinism": determinism,
+        }
+
+    report = benchmark.pedantic(_run, rounds=1, iterations=1)
+    acc = report["acceptance"]
+    report["summary"] = {
+        "volumes_per_s": acc["volumes_per_s"],
+        "rebuilds_completed": acc["rebuilds_completed"],
+        "all_gates_ok": all(acc["gates"].values()),
+        "bit_stable_across_pool_widths": report["determinism"]["bit_stable"],
+    }
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    lines = [
+        f"fleet acceptance: {acc['volumes']} volumes, "
+        f"{len(acc['fail_volumes'])} injected disk failures "
+        f"(BENCH_fleet.json; smoke={report['meta']['smoke']})",
+        f"  drained in {acc['elapsed_s']}s ({acc['volumes_per_s']} vol/s), "
+        f"{acc['rebuilds_completed']} spare rebuilds, "
+        f"{acc['breaker_trips']} breaker trips, "
+        f"{acc['crashes']} crashes / {acc['resumes']} resumes",
+    ]
+    for tenant, t in acc["tenants"].items():
+        lines.append(
+            f"  {tenant:>8}: worst closed p99 {t['worst_closed_p99']:.1f} "
+            f"ticks vs target {t['p99_target']}"
+        )
+    det = report["determinism"]
+    lines.append(
+        f"  bit-stable across client pools {det['clients_compared']} "
+        f"({len(det['keys_compared'])} keys x {det['volumes_compared']} volumes)"
+    )
+    show("\n".join(lines))
+
+    assert report["summary"]["all_gates_ok"]

@@ -553,6 +553,89 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """Self-healing migration fleet runs and chaos soaks (repro.fleet)."""
+    import json as _json
+    from pathlib import Path
+
+    from repro.fleet.service import (
+        DEFAULT_TENANTS,
+        FleetConfig,
+        fleet_soak,
+        run_fleet,
+    )
+
+    if args.soak is not None:
+        soak = fleet_soak(
+            args.soak, seed=args.seed, max_iterations=args.max_iterations
+        )
+        t = soak["totals"]
+        status = "PASS" if soak["ok"] else f"FAIL ({len(soak['failures'])} failures)"
+        print(
+            f"fleet-soak seed={soak['seed']}: {soak['iterations']} fleets, "
+            f"{t['volumes']} volumes ({t['complete']} complete, "
+            f"{t['rebuilds']} rebuilds, {t['crashes']} crash-resumes, "
+            f"{t['divergent_blocks']} divergent blocks) — {status}"
+        )
+        for fail in soak["failures"]:
+            print(f"  iteration {fail['iteration']}: gates {fail['gates']}")
+            print(f"    replay config: {_json.dumps(fail['config'])}")
+        if args.report is not None:
+            Path(args.report).write_text(_json.dumps(soak, indent=2) + "\n")
+            print(f"soak report written to {args.report}")
+        return 0 if soak["ok"] else 1
+
+    tenants = DEFAULT_TENANTS
+    if args.qos_p99 is not None:
+        tenants = tuple((name, args.qos_p99) for name, _ in DEFAULT_TENANTS)
+    config = FleetConfig(
+        volumes=args.volumes,
+        clients=args.clients,
+        p=args.p,
+        groups=args.groups,
+        block_size=args.block_size,
+        seed=args.seed,
+        requests_per_volume=args.requests,
+        batch=args.batch,
+        spares=args.spares,
+        fail_volumes=tuple(args.fail_volumes or ()),
+        fail_disk=args.fail_disk,
+        transient_rate=args.transient_rate,
+        crash_volumes=tuple(args.crash_volumes or ()),
+        tenants=tenants,
+    )
+    report = run_fleet(config)
+    states = ", ".join(f"{k}={v}" for k, v in sorted(report["states"].items()))
+    gates = ", ".join(f"{k}={'ok' if v else 'FAIL'}" for k, v in report["gates"].items())
+    print(
+        f"fleet p={config.p} volumes={report['volumes_total']} "
+        f"clients={config.clients} spares={config.spares}: {states}"
+    )
+    print(
+        f"  rebuilds={report['rebuilds_completed']} "
+        f"breaker-trips={report['breaker_trips']} "
+        f"crash-resumes={report['crashes']} "
+        f"degraded-reads={report['degraded_reads']} "
+        f"scrubbed={report['stripes_scrubbed']}"
+    )
+    for tenant, t in sorted(report["tenants"].items()):
+        print(
+            f"  tenant {tenant}: {t['volumes']} volumes, closed p99 "
+            f"{t['worst_closed_p99']:.1f} ticks (target {t['p99_target']})"
+        )
+    print(f"  gates: {gates}")
+    if args.report is not None:
+        Path(args.report).write_text(_json.dumps(report, indent=2) + "\n")
+        print(f"fleet report written to {args.report}")
+    if args.metrics:
+        from repro.obs import get_registry, record_fleet_report
+
+        registry = get_registry()
+        record_fleet_report(report, registry)
+        print(registry.render_text())
+    return 0 if report["ok"] else 1
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     """Static verification gate; exit 0 clean / 1 findings / 2 internal."""
     from repro.obs import get_registry
@@ -855,6 +938,46 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--artifacts", default=None, metavar="DIR",
                          help="save replayable failure specs here")
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    p_fleet = sub.add_parser(
+        "fleet", help="self-healing multi-volume migration fleet (repro.fleet)"
+    )
+    p_fleet.add_argument("--volumes", type=int, default=8,
+                         help="volumes to migrate")
+    p_fleet.add_argument("--clients", type=int, default=4,
+                         help="worker-pool width (concurrent migrations)")
+    p_fleet.add_argument("--p", type=int, default=5)
+    p_fleet.add_argument("--groups", type=int, default=2)
+    p_fleet.add_argument("--block-size", type=int, default=8)
+    p_fleet.add_argument("--seed", type=int, default=0)
+    p_fleet.add_argument("--requests", type=int, default=12,
+                         help="foreground requests per volume")
+    p_fleet.add_argument("--batch", type=int, default=1,
+                         help="converter run budget per volume")
+    p_fleet.add_argument("--spares", type=int, default=2,
+                         help="hot-spare pool size shared by the fleet")
+    p_fleet.add_argument("--fail-volumes", type=int, nargs="+", default=None,
+                         metavar="ID",
+                         help="volume ids that lose a disk mid-migration")
+    p_fleet.add_argument("--fail-disk", type=int, default=None,
+                         help="disk to fail (default: seeded per-volume pick)")
+    p_fleet.add_argument("--crash-volumes", type=int, nargs="+", default=None,
+                         metavar="ID",
+                         help="volume ids whose conversion crashes once")
+    p_fleet.add_argument("--transient-rate", type=float, default=0.0,
+                         help="per-I/O transient fault probability")
+    p_fleet.add_argument("--qos-p99", type=float, default=None,
+                         help="override every tenant's foreground p99 target "
+                              "(ticks; default: tenant ring 40/60/90)")
+    p_fleet.add_argument("--soak", type=float, default=None, metavar="SECONDS",
+                         help="chaos mode: randomized fleets for a time budget")
+    p_fleet.add_argument("--max-iterations", type=int, default=None,
+                         help="soak: stop after N fleets even within budget")
+    p_fleet.add_argument("--report", default=None, metavar="PATH",
+                         help="write the JSON fleet/soak report here")
+    p_fleet.add_argument("--metrics", action="store_true",
+                         help="print the metrics registry after recording")
+    p_fleet.set_defaults(func=_cmd_fleet)
 
     p_sweep = sub.add_parser(
         "sweep", help="parallel evaluation grid (serial vs process pool)"

@@ -43,6 +43,7 @@ import numpy as np
 
 from repro.faults.errors import ConversionCrash, ReadFaultError, TransientIOError
 from repro.faults.spec import FaultScenario
+from repro.util.retry import total_backoff
 
 __all__ = ["FaultPlane", "BulkCrash"]
 
@@ -246,10 +247,9 @@ class FaultPlane:
 
     def _accrue_backoff(self, retries: int) -> None:
         policy = self.scenario.retry
-        for attempt in range(retries):
-            self.backoff_ticks += (
-                policy.backoff_base_ticks * policy.backoff_multiplier**attempt
-            )
+        self.backoff_ticks += total_backoff(
+            retries, policy.backoff_base_ticks, policy.backoff_multiplier
+        )
 
     def _drawn_transient_failures(self) -> int:
         """Rate-based transient draw for the current op (0 = healthy)."""

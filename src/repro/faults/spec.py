@@ -85,12 +85,51 @@ class DiskFailureAt:
     disk: int
 
 
+#: every registered schedule-entry type, keyed by its scenario field —
+#: the round-trip methods iterate this, so registering a new event type
+#: here is all it takes to make it replayable from JSON artifacts
 _SCHEDULE_FIELDS = {
     "sector_errors": SectorError,
     "torn_writes": TornWrite,
     "transients": TransientFault,
     "disk_failures": DiskFailureAt,
 }
+
+#: per-entry field coercions (dataclass annotation -> JSON primitive);
+#: schedule entries are routinely built from numpy scalars (rng draws),
+#: which ``json.dumps`` rejects — normalise at the boundary instead of
+#: scattering ``default=int`` over every dump site
+_FIELD_TYPES: dict[type, dict[str, type]] = {
+    SectorError: {"disk": int, "block": int},
+    TornWrite: {"op": int, "keep_fraction": float},
+    TransientFault: {"op": int, "failures": int},
+    DiskFailureAt: {"op": int, "disk": int},
+}
+
+
+def _jsonify(value: Any) -> Any:
+    """Best-effort coercion of a meta value to a JSON-stable primitive."""
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, (int, float)):
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    return value
+
+
+def _entry_dict(entry: Any) -> dict:
+    kinds = _FIELD_TYPES[type(entry)]
+    return {name: kind(getattr(entry, name)) for name, kind in kinds.items()}
+
+
+def _entry_from(entry_cls: type, doc: dict) -> Any:
+    kinds = _FIELD_TYPES[entry_cls]
+    return entry_cls(**{name: kind(doc[name]) for name, kind in kinds.items() if name in doc})
 
 
 @dataclass(frozen=True)
@@ -115,29 +154,35 @@ class FaultScenario:
     # ------------------------------------------------------------ round-trip
     def to_dict(self) -> dict:
         doc: dict[str, Any] = {
-            "seed": self.seed,
-            "transient_rate": self.transient_rate,
-            "crash_at": self.crash_at,
-            "crash_tear": self.crash_tear,
-            "retry": vars(self.retry).copy(),
-            "meta": dict(self.meta),
+            "seed": int(self.seed),
+            "transient_rate": float(self.transient_rate),
+            "crash_at": None if self.crash_at is None else int(self.crash_at),
+            "crash_tear": None if self.crash_tear is None else float(self.crash_tear),
+            "retry": {
+                "max_retries": int(self.retry.max_retries),
+                "backoff_base_ticks": float(self.retry.backoff_base_ticks),
+                "backoff_multiplier": float(self.retry.backoff_multiplier),
+            },
+            "meta": {str(k): _jsonify(v) for k, v in self.meta.items()},
         }
         for name in _SCHEDULE_FIELDS:
-            doc[name] = [vars(e).copy() for e in getattr(self, name)]
+            doc[name] = [_entry_dict(e) for e in getattr(self, name)]
         return doc
 
     @classmethod
     def from_dict(cls, doc: dict) -> "FaultScenario":
+        crash_at = doc.get("crash_at")
+        crash_tear = doc.get("crash_tear")
         kwargs: dict[str, Any] = {
             "seed": int(doc.get("seed", 0)),
             "transient_rate": float(doc.get("transient_rate", 0.0)),
-            "crash_at": doc.get("crash_at"),
-            "crash_tear": doc.get("crash_tear"),
+            "crash_at": None if crash_at is None else int(crash_at),
+            "crash_tear": None if crash_tear is None else float(crash_tear),
             "retry": RetryPolicy(**doc.get("retry", {})),
             "meta": dict(doc.get("meta", {})),
         }
         for name, entry_cls in _SCHEDULE_FIELDS.items():
-            kwargs[name] = tuple(entry_cls(**e) for e in doc.get(name, []))
+            kwargs[name] = tuple(_entry_from(entry_cls, e) for e in doc.get(name, []))
         return cls(**kwargs)
 
     def to_json(self) -> str:

@@ -1,0 +1,139 @@
+"""Hot-spare pool and scrub scheduling for the fleet.
+
+The :class:`SparePool` is the only piece of fleet state shared between
+volume workers, so it is the one place that takes a lock.  A volume that
+loses a data disk asks for a spare; if one is granted the volume rebuilds
+onto it (row-XOR reconstruction through the still-maintained RAID-5
+horizontal parity — valid mid-migration, because Algorithm 2's write
+path updates that parity on every write) and returns to migrating.
+Pool-exhausted volumes stay degraded and keep converting through
+reconstruct-on-read.
+
+:class:`ScrubCursor` is the idle-slack parity verifier: one stripe per
+step — the horizontal row XOR plus, when the diagonal parity of that
+stripe's row is journal-marked, its Code 5-6 chain XOR.  The fleet
+scheduler feeds it whatever ticks are left between request arrivals once
+conversion has drained, so silent corruption surfaces while the volume
+is still under management instead of at the next full audit.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.codes.code56 import diagonal_chain_cells
+
+__all__ = ["SparePool", "ScrubCursor"]
+
+
+class SparePool:
+    """A counted pool of hot spares shared by every volume worker.
+
+    Grant order is first-come-first-served under a lock; the *outcome*
+    per volume is deterministic whenever the pool is sized for the fault
+    scenario (every claim granted), which is what seeded soaks assert.
+    """
+
+    def __init__(self, spares: int):
+        if spares < 0:
+            raise ValueError("spare count must be non-negative")
+        self._lock = threading.Lock()
+        self._free = int(spares)
+        self.total = int(spares)
+        self.granted = 0
+        self.denied = 0
+
+    def claim(self) -> bool:
+        """Take one spare; False when the pool is exhausted."""
+        with self._lock:
+            if self._free == 0:
+                self.denied += 1
+                return False
+            self._free -= 1
+            self.granted += 1
+            return True
+
+    @property
+    def free(self) -> int:
+        with self._lock:
+            return self._free
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "total": self.total,
+                "free": self._free,
+                "granted": self.granted,
+                "denied": self.denied,
+            }
+
+
+class ScrubCursor:
+    """Round-robin background parity verification over one volume.
+
+    Each :meth:`step` checks one stripe out-of-band (raw reads — scrub
+    is the recovery plane's scan, not counted array traffic) and costs
+    the caller ``m`` ticks of idle slack, the stripe-read budget a real
+    scrubber would spend.
+    """
+
+    def __init__(self, conv) -> None:
+        self.conv = conv
+        self._stripe = 0
+        self.stripes_scrubbed = 0
+        self.errors_found = 0
+        #: (stripe, kind) of every inconsistency seen
+        self.errors: list[tuple[int, str]] = []
+
+    @property
+    def stripes(self) -> int:
+        return self.conv.groups * self.conv.rows
+
+    def step(self) -> int:
+        """Scrub the next stripe; returns the tick cost (0 if no stripes)."""
+        total = self.stripes
+        if total == 0:
+            return 0
+        conv = self.conv
+        array, m = conv.array, conv.m
+        stripe = self._stripe
+        self._stripe = (stripe + 1) % total
+        self.stripes_scrubbed += 1
+        failed = array.failed_disks
+        cost = m
+        # horizontal parity: XOR over the RAID-5 row must balance —
+        # skipped while a row member is failed (its raw bytes are stale
+        # by design; the row is checked again once rebuilt)
+        if not any(d < m for d in failed):
+            acc = np.zeros(array.block_size, dtype=np.uint8)
+            for d in range(m):
+                np.bitwise_xor(acc, array.raw(d, stripe), out=acc)
+            if acc.any():
+                self.errors_found += 1
+                self.errors.append((stripe, "horizontal"))
+        # diagonal parity of this stripe's row, once journal-marked
+        group, row = divmod(stripe, conv.rows)
+        journal = conv.journal
+        if (
+            journal is not None
+            and journal.is_marked(group, row)
+            and m not in failed
+            and not any(d < m for d in failed)
+        ):
+            acc = np.zeros(array.block_size, dtype=np.uint8)
+            for r, c in diagonal_chain_cells(conv.p, row):
+                np.bitwise_xor(acc, array.raw(c, group * conv.rows + r), out=acc)
+            cost += 1
+            if not np.array_equal(acc, array.raw(m, stripe)):
+                self.errors_found += 1
+                self.errors.append((stripe, "diagonal"))
+        return cost
+
+    def snapshot(self) -> dict:
+        return {
+            "stripes_scrubbed": self.stripes_scrubbed,
+            "errors_found": self.errors_found,
+            "errors": [list(e) for e in self.errors],
+        }

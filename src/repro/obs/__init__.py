@@ -40,6 +40,7 @@ from repro.obs.record import (
     record_compiler_cache,
     record_conversion,
     record_fault_plane,
+    record_fleet_report,
     record_online_report,
     record_sim_result,
     record_staticcheck,
@@ -83,6 +84,7 @@ __all__ = [
     "record_compiler_cache",
     "record_conversion",
     "record_fault_plane",
+    "record_fleet_report",
     "record_online_report",
     "record_sim_result",
     "record_staticcheck",

@@ -22,6 +22,7 @@ __all__ = [
     "record_compiler_cache",
     "record_staticcheck",
     "record_fault_plane",
+    "record_fleet_report",
 ]
 
 #: foreground-latency buckets in Te ticks — online requests cost whole
@@ -167,6 +168,63 @@ def record_fault_plane(plane, registry: MetricsRegistry | None = None) -> None:
             registry.gauge(f"faults.{name}").set(float(value))
         else:
             registry.counter(f"faults.{name}").inc(int(value))
+
+
+def record_fleet_report(
+    report: dict, registry: MetricsRegistry | None = None, prefix: str = "fleet"
+) -> None:
+    """Health, QoS and recovery tallies of one fleet report.
+
+    Volume health lands as state-labelled ``fleet.volume_state`` gauges
+    (a point-in-time census of the fleet), breaker/rebuild/crash
+    recovery as counters, and per-tenant closed-state foreground
+    latency — the number the QoS gate scores — as quantile-labelled
+    gauges plus one merged tick-bucketed histogram, so ``repro stats``
+    renders the fleet section next to the online-conversion one.
+    """
+    registry = registry if registry is not None else get_registry()
+    for state, count in report["states"].items():
+        registry.gauge(f"{prefix}.volume_state", state=state).set(float(count))
+    for name in (
+        "breaker_trips",
+        "rebuilds_completed",
+        "crashes",
+        "resumes",
+        "degraded_reads",
+        "stripes_scrubbed",
+        "scrub_errors",
+        "divergent_blocks",
+    ):
+        registry.counter(f"{prefix}.{name}").inc(int(report[name]))
+    registry.counter(f"{prefix}.volumes").inc(int(report["volumes_total"]))
+    registry.counter(f"{prefix}.volumes_complete").inc(int(report["volumes_complete"]))
+    registry.gauge(f"{prefix}.breaker_open_ticks").set(float(report["breaker_open_ticks"]))
+    spares = report["spares"]
+    registry.gauge(f"{prefix}.spares_free").set(float(spares["free"]))
+    registry.counter(f"{prefix}.spares_attached").inc(int(spares["granted"]))
+    registry.counter(f"{prefix}.spares_denied").inc(int(spares["denied"]))
+    for gate, ok in report["gates"].items():
+        registry.gauge(f"{prefix}.gate", gate=gate).set(1.0 if ok else 0.0)
+    for tenant, t in report["tenants"].items():
+        registry.gauge(
+            f"{prefix}.closed_latency_ticks.worst_p99", tenant=tenant
+        ).set(float(t["worst_closed_p99"]))
+        if t["p99_target"] is not None:
+            registry.gauge(
+                f"{prefix}.qos_target_ticks.p99", tenant=tenant
+            ).set(float(t["p99_target"]))
+    hist = registry.histogram(
+        f"{prefix}.request_latency_ticks", buckets=ONLINE_LATENCY_BUCKETS_TICKS
+    )
+    for vol in report["volumes"]:
+        lat = vol["latency"]
+        for q in (50, 95, 99):
+            registry.gauge(
+                f"{prefix}.volume_latency_ticks.p{q}",
+                volume=vol["volume_id"], tenant=vol["tenant"],
+            ).set(float(lat[f"p{q}"]))
+        for sample in lat["ticks"]:
+            hist.observe(sample)
 
 
 def record_staticcheck(report, registry: MetricsRegistry | None = None) -> None:

@@ -48,6 +48,29 @@ check):
 * ``CRASH-CLEAN`` / ``CRASH-TORN`` — generate a run then crash before
   the commit (torn: the run's last parity write tears mid-block).
 
+Fleet scenarios add the self-healing service's transitions
+(:mod:`repro.fleet`), so the breaker pause and the hot-spare rebuild are
+*proved*, not just soak-tested:
+
+* ``PAUSE`` (``pauses > 0``) — the QoS circuit breaker trips between
+  steps: the in-memory converter is discarded and a fresh one resumes
+  from the journal watermark (the fleet's backoff/resume edge — exactly
+  a crash-resume without the crash, so every watermark obligation
+  carries over);
+* ``FAIL`` (``spare=True``) — data disk ``fail_disk`` dies; conversion
+  and application writes continue degraded (reconstruct-on-read,
+  reconstruct-writes through the parities);
+* ``SPARE`` — a hot spare is attached: the failed column is rebuilt by
+  row XOR through the still-maintained horizontal parity, and the
+  converter re-instantiates from the journal (the fleet's post-rebuild
+  resume).
+
+While the disk is failed, SC-C001 checks the failed column *through
+reconstruction* (the write-path invariant that makes the rebuild
+correct), SC-C004's horizontal check is skipped (with one column
+erased it is definitionally satisfiable — reconstruction and the check
+would be the same XOR), and chain XORs reconstruct failed cells.
+
 Partial-order reduction is sound here because the independent pairs
 commute *by construction*: two writes to distinct LBAs touch disjoint
 data blocks and XOR-patch parities (XOR commutes), and a conversion
@@ -66,7 +89,7 @@ from __future__ import annotations
 
 import hashlib
 import sys
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 import numpy.typing as npt
@@ -103,10 +126,22 @@ class ModelScenario:
     #: run budget the explorer hands to ``generate_run_step``; 1 keeps
     #: the per-parity ``generate_step``/``mark_step`` alphabet
     batch: int = 1
+    #: breaker pauses the explorer may interleave (each discards the
+    #: in-memory converter and resumes from the journal watermark)
+    pauses: int = 0
+    #: enable the FAIL/SPARE pair: ``fail_disk`` may die at any point
+    #: and a hot spare may be attached (row-XOR rebuild) at any later one
+    spare: bool = False
+    #: which data disk the FAIL transition kills (must be < p-1)
+    fail_disk: int = 0
 
     @property
     def label(self) -> str:
         suffix = f",batch={self.batch}" if self.batch != 1 else ""
+        if self.pauses:
+            suffix += f",pauses={self.pauses}"
+        if self.spare:
+            suffix += f",spare(d{self.fail_disk})"
         return (
             f"online-code56@p={self.p},groups={self.groups},"
             f"writes={list(self.lbas)}{suffix}"
@@ -158,6 +193,10 @@ class _Explorer:
             raise ValueError("scenario LBAs must be distinct (unordered writes)")
         if any(lba >= capacity for lba in scenario.lbas):
             raise ValueError(f"LBA out of range (capacity {capacity})")
+        if scenario.spare and not 0 <= scenario.fail_disk < self.m:
+            raise ValueError(
+                f"fail_disk must name a data-array column (< {self.m})"
+            )
         self.data = _initial_data(capacity, bs)
         self.payloads = [
             _write_payload(i, bs) for i in range(len(scenario.lbas))
@@ -169,6 +208,8 @@ class _Explorer:
         self.conv = self.converter_cls(self.array, p, journal=self.journal)
         self.applied: frozenset[int] = frozenset()
         self.crashes = 0
+        self.pauses_done = 0
+        self.failed = False
         self.findings: list[Finding] = []
         self.stats = ModelStats(scenarios=1)
         #: state hash -> sleep sets already explored from it
@@ -182,15 +223,23 @@ class _Explorer:
             self.conv.thread_state(),
             self.applied,
             self.crashes,
+            self.pauses_done,
+            self.array.failed_disks,
         )
 
     def _restore(self, state) -> None:
-        arr, marks, thread, applied, crashes = state
+        arr, marks, thread, applied, crashes, pauses_done, failed = state
         self.array.restore(arr)
         self.journal.restore_marks(marks)
         self.conv.restore_thread_state(thread)
         self.applied = applied
         self.crashes = crashes
+        self.pauses_done = pauses_done
+        # snapshot/restore cover bytes only; failure state is explorer
+        # bookkeeping (BlockArray has no public "un-replace" — this is
+        # state rollback, not a modelled transition)
+        self.array._failed = set(failed)
+        self.failed = self.scenario.fail_disk in failed if self.scenario.spare else False
 
     def _hash(self) -> bytes:
         cursor, generated, run = self.conv.thread_state()
@@ -205,6 +254,7 @@ class _Explorer:
             mask |= 1 << i
         h.update(mask.to_bytes(4, "little"))
         h.update(self.crashes.to_bytes(2, "little"))
+        h.update(bytes([self.pauses_done, 1 if self.failed else 0]))
         return h.digest()
 
     # ------------------------------------------------------- transitions
@@ -220,6 +270,20 @@ class _Explorer:
             if self.crashes < self.scenario.max_crashes:
                 out.append(("KC",))
                 out.append(("KT",))
+        in_window = batched and self.conv.in_flight_run is not None
+        if (
+            self.pauses_done < self.scenario.pauses
+            and not in_window
+            and self.conv.pending_parity() is not None
+        ):
+            # the fleet commits an in-flight run before pausing, so the
+            # pause edge only exists between committed steps
+            out.append(("P",))
+        if self.scenario.spare:
+            if not self.failed:
+                out.append(("F",))
+            elif not in_window:
+                out.append(("S",))
         for i in range(len(self.payloads)):
             if i not in self.applied:
                 out.append(("W", i))
@@ -227,8 +291,12 @@ class _Explorer:
 
     def _independent(self, a: tuple, b: tuple) -> bool:
         # crashes are dependent with everything (they reshape the whole
-        # thread state); distinct-LBA writes and write-vs-convert commute
-        if a[0] in ("KC", "KT", "K") or b[0] in ("KC", "KT", "K"):
+        # thread state); so are pause/fail/spare-attach (conservative:
+        # the fleet transitions reshape converter identity or geometry);
+        # distinct-LBA writes and write-vs-convert commute
+        if a[0] in ("KC", "KT", "K", "P", "F", "S") or b[0] in (
+            "KC", "KT", "K", "P", "F", "S",
+        ):
             return False
         if a[0] == "W" and b[0] == "W":
             return a[1] != b[1]  # distinct scenario writes → distinct LBAs
@@ -273,6 +341,20 @@ class _Explorer:
             self._check_watermark()
             self.conv = self.converter_cls(self.array, self.p, journal=self.journal)
             return
+        if kind == "P":
+            # breaker pause: the fleet discards the converter and later
+            # resumes from the watermark — same recovery obligation as a
+            # clean crash, minus the crash budget
+            self.pauses_done += 1
+            self.conv = self.converter_cls(self.array, self.p, journal=self.journal)
+            return
+        if kind == "F":
+            self.failed = True
+            self.array.fail_disk(self.scenario.fail_disk)
+            return
+        if kind == "S":
+            self._attach_spare()
+            return
         # crash variants: the pending work's parity writes land (clean)
         # or the last one tears (torn), the mark is lost with the
         # process, then reboot
@@ -301,6 +383,25 @@ class _Explorer:
         self._check_watermark()
         self.conv = self.converter_cls(self.array, self.p, journal=self.journal)
 
+    def _attach_spare(self) -> None:
+        """SPARE: replace the failed column, rebuild it by row XOR.
+
+        The rebuild writes through :meth:`~repro.raid.array.BlockArray.
+        restore_blocks` (the out-of-band recovery scatter) and the
+        converter re-instantiates from the journal — the fleet's
+        post-rebuild resume (:meth:`repro.fleet.volume.FleetVolume.
+        _rebuild_slice`).
+        """
+        disk = self.scenario.fail_disk
+        self.array.replace_disk(disk)
+        stripes = self.scenario.groups * self.rows
+        for stripe in range(stripes):
+            self.array.restore_blocks(
+                [disk], [stripe], self._reconstruct(disk, stripe)[None, :]
+            )
+        self.failed = False
+        self.conv = self.converter_cls(self.array, self.p, journal=self.journal)
+
     # -------------------------------------------------------- invariants
     def _flag(self, rule: str, message: str) -> None:
         if len(self.findings) >= _MAX_FINDINGS_PER_SCENARIO:
@@ -320,13 +421,27 @@ class _Explorer:
                 return self.payloads[i]
         return self.data[lba]
 
+    def _reconstruct(self, disk: int, block: int) -> npt.NDArray[np.uint8]:
+        """Row-XOR reconstruction of one cell of a failed data column."""
+        acc = np.zeros(self.scenario.block_size, dtype=np.uint8)
+        for d in range(self.m):
+            if d != disk:
+                np.bitwise_xor(acc, self.array.raw(d, block), out=acc)
+        return acc
+
+    def _cell(self, disk: int, block: int) -> npt.NDArray[np.uint8]:
+        """A cell's logical bytes: raw, or reconstructed while failed."""
+        if self.failed and disk == self.scenario.fail_disk:
+            return self._reconstruct(disk, block)
+        return self.array.raw(disk, block)
+
     def _chain_xor(self, group: int, prow: int) -> npt.NDArray[np.uint8]:
         from repro.codes.code56 import diagonal_chain_cells
 
         acc = np.zeros(self.scenario.block_size, dtype=np.uint8)
         for r, c in diagonal_chain_cells(self.p, prow):
             np.bitwise_xor(
-                acc, self.array.raw(c, group * self.rows + r), out=acc
+                acc, self._cell(c, group * self.rows + r), out=acc
             )
         return acc
 
@@ -354,31 +469,37 @@ class _Explorer:
         from repro.raid.layouts import locate_block, parity_disk
 
         self.stats.checks += 1
-        # SC-C001: every logical data block reads back as the truth model
+        # SC-C001: every logical data block reads back as the truth
+        # model — through row-XOR reconstruction for a failed column
+        # (the invariant that makes the hot-spare rebuild correct)
         for lba in range(self.data.shape[0]):
             stripe, disk = locate_block(self.layout, lba, self.m)
-            if not np.array_equal(self.array.raw(disk, stripe), self._truth(lba)):
+            if not np.array_equal(self._cell(disk, stripe), self._truth(lba)):
                 self._flag(
                     "SC-C001",
                     f"lost write: lba {lba} diverges from the applied-write "
                     f"truth model after [{trail}]",
                 )
                 break
-        # SC-C004: horizontal parity of every stripe; generated diagonals
+        # SC-C004: horizontal parity of every stripe; generated diagonals.
+        # Skipped while a column is erased: with one member missing the
+        # row equation is the reconstruction definition itself (vacuous);
+        # SC-C001 above carries the degraded-mode obligation instead.
         stripes = self.scenario.groups * self.rows
-        for stripe in range(stripes):
-            pd = parity_disk(self.layout, stripe, self.m)
-            acc = np.zeros(self.scenario.block_size, dtype=np.uint8)
-            for d in range(self.m):
-                if d != pd:
-                    np.bitwise_xor(acc, self.array.raw(d, stripe), out=acc)
-            if not np.array_equal(self.array.raw(pd, stripe), acc):
-                self._flag(
-                    "SC-C004",
-                    f"horizontal parity of stripe {stripe} inconsistent "
-                    f"after [{trail}]",
-                )
-                break
+        if not self.failed:
+            for stripe in range(stripes):
+                pd = parity_disk(self.layout, stripe, self.m)
+                acc = np.zeros(self.scenario.block_size, dtype=np.uint8)
+                for d in range(self.m):
+                    if d != pd:
+                        np.bitwise_xor(acc, self.array.raw(d, stripe), out=acc)
+                if not np.array_equal(self.array.raw(pd, stripe), acc):
+                    self._flag(
+                        "SC-C004",
+                        f"horizontal parity of stripe {stripe} inconsistent "
+                        f"after [{trail}]",
+                    )
+                    break
         _cursor, generated, run = self.conv.thread_state()
         # an in-flight run's bytes have landed; they must already be
         # chain-consistent (this is what proves the overlap check patches
@@ -406,6 +527,10 @@ class _Explorer:
 
         if self.conv.in_flight_run is not None:
             self.conv.mark_run_step()
+        if self.failed:
+            # the audit needs a healthy array: attach the spare first
+            # (the fleet's own drain does the same before verifying)
+            self._attach_spare()
         for i in range(len(self.payloads)):
             if i not in self.applied:
                 self._serve_write(i)
@@ -501,6 +626,9 @@ class _Explorer:
             "K": "window-crash",
             "KC": "crash",
             "KT": "torn-crash",
+            "P": "pause",
+            "F": "fail",
+            "S": "spare",
         }[t[0]]
 
 
@@ -543,9 +671,12 @@ def model_scenarios(p: int, exhaustive: bool) -> list[ModelScenario]:
     triple, and the batched protocol re-proved for every run budget of
     {2, rows, groups*rows} — a two-parity run, one full parity row span,
     and a single run covering the whole conversion — over the same
-    representative singles plus a pair subset.  Sampled (p=7): one
-    group, a spread of single writes, a couple of pairs and two batched
-    scenarios.
+    representative singles plus a pair subset.  Fleet transitions ride
+    the same battery: breaker-pause singles over every representative
+    LBA, fail/spare singles cycling the failed column over every data
+    disk, one pause+spare pair, and batched pause/spare variants.
+    Sampled (p=7): one group, a spread of single writes, a couple of
+    pairs, two batched scenarios, and one pause + one spare single.
     """
     rows = p - 1
     m = p - 1
@@ -574,7 +705,33 @@ def model_scenarios(p: int, exhaustive: bool) -> list[ModelScenario]:
             for i, a in enumerate(reps[:4])
             for b in reps[i + 1 : 4]
         ]
-        return singles + pairs + triple + batched
+        fleet = (
+            [
+                ModelScenario(p=p, groups=groups, lbas=(lba,), pauses=1)
+                for lba in reps
+            ]
+            + [
+                ModelScenario(
+                    p=p, groups=groups, lbas=(lba,), spare=True,
+                    fail_disk=i % m,
+                )
+                for i, lba in enumerate(reps)
+            ]
+            + [
+                ModelScenario(
+                    p=p, groups=groups, lbas=(reps[0], reps[1]),
+                    pauses=1, spare=True, fail_disk=1,
+                ),
+                ModelScenario(
+                    p=p, groups=groups, lbas=(reps[0],), batch=rows, pauses=1,
+                ),
+                ModelScenario(
+                    p=p, groups=groups, lbas=(reps[0],), batch=2,
+                    spare=True, fail_disk=2,
+                ),
+            ]
+        )
+        return singles + pairs + triple + batched + fleet
     groups = 1
     capacity = groups * rows * (m - 1)
     step = max(1, capacity // 6)
@@ -603,7 +760,17 @@ def model_scenarios(p: int, exhaustive: bool) -> list[ModelScenario]:
             resume_everywhere=False,
         ),
     ]
-    return singles + pairs + batched
+    fleet = [
+        ModelScenario(
+            p=p, groups=groups, lbas=(sampled[0],), pauses=1,
+            resume_everywhere=False,
+        ),
+        ModelScenario(
+            p=p, groups=groups, lbas=(sampled[-1],), spare=True, fail_disk=1,
+            resume_everywhere=False,
+        ),
+    ]
+    return singles + pairs + batched + fleet
 
 
 def run_model_check(

@@ -16,10 +16,11 @@ invariant earlier PRs fought for:
   ``repro.migration.batch`` behind the kernel tier), and the allowance
   set is empty so not even a compatibility re-export may revive it.
 * **SC-L004** — ``multiprocessing`` (and ``concurrent.futures``) is
-  imported only inside ``repro.sweep``.  Process management, shared
-  memory and the resource-tracker workarounds live behind one audited
-  boundary; a stray ``import multiprocessing`` elsewhere bypasses the
-  sweep runner's determinism and cleanup guarantees.
+  imported only inside ``repro.sweep`` and ``repro.fleet``.  Process
+  management, shared memory and the resource-tracker workarounds live
+  behind audited boundaries — the sweep runner and the fleet service's
+  admission worker pool; a stray ``import multiprocessing`` elsewhere
+  bypasses their determinism and cleanup guarantees.
 * **SC-L005** — no direct ``np.bitwise_xor`` (nor the ``xor_reduce`` /
   ``xor_into`` helpers) on ``BlockArray`` storage outside
   ``repro.kernels``.  A function-local taint pass marks every value
@@ -75,8 +76,9 @@ _DEPRECATED_ALLOWED: frozenset[str] = frozenset()
 
 #: process-management modules confined to the sweep package
 _MP_MODULES = frozenset({"multiprocessing", "concurrent.futures"})
-#: the one package allowed to spawn processes / map shared memory
-_MP_ALLOWED_PREFIX = "sweep/"
+#: the packages allowed to spawn workers / map shared memory: the
+#: sweep runner and the fleet service's admission worker pool
+_MP_ALLOWED_PREFIXES = ("sweep/", "fleet/")
 
 #: bulk storage accessors whose results are BlockArray storage (taint roots)
 _STORAGE_ACCESSORS = frozenset({"bulk_view", "gather_raw"})
@@ -344,14 +346,15 @@ class _Linter(ast.NodeVisitor):
         top = module.split(".", 1)[0]
         if (
             (module in _MP_MODULES or top == "multiprocessing")
-            and not self.rel.startswith(_MP_ALLOWED_PREFIX)
+            and not self.rel.startswith(_MP_ALLOWED_PREFIXES)
         ):
             self._flag(
                 "SC-L004",
                 node,
-                f"import of `{module}` outside repro.sweep — process pools "
-                "and shared memory go through the sweep runner "
-                "(repro.sweep.run_sweep / repro.sweep.shm)",
+                f"import of `{module}` outside repro.sweep/repro.fleet — "
+                "process pools and shared memory go through the sweep "
+                "runner (repro.sweep.run_sweep / repro.sweep.shm) or the "
+                "fleet service's worker pool (repro.fleet.service)",
             )
 
     def visit_Import(self, node: ast.Import) -> None:
@@ -382,7 +385,7 @@ class _Linter(ast.NodeVisitor):
                 )
         self._check_mp(node, module)
         self._check_nondet_from(node, module)
-        if module == "concurrent" and not self.rel.startswith(_MP_ALLOWED_PREFIX):
+        if module == "concurrent" and not self.rel.startswith(_MP_ALLOWED_PREFIXES):
             # `from concurrent import futures` names the pool machinery too
             for alias in node.names:
                 if alias.name == "futures":

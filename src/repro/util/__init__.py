@@ -3,8 +3,12 @@
 from repro.util.primes import is_prime, next_prime, previous_prime, primes_in_range
 from repro.util.gf2 import gf2_rank, gf2_solve, gf2_inverse, gf2_elimination
 from repro.util.blocks import xor_reduce, xor_into, zeros_blocks, random_blocks
+from repro.util.retry import Backoff, BackoffPolicy, total_backoff
 
 __all__ = [
+    "Backoff",
+    "BackoffPolicy",
+    "total_backoff",
     "is_prime",
     "next_prime",
     "previous_prime",

@@ -1,0 +1,144 @@
+"""Deterministic retry/backoff policy shared by the fault plane and fleet.
+
+One exponential-backoff formula, three consumers:
+
+* :class:`~repro.faults.plane.FaultPlane` accounts the backoff time of
+  transient-I/O retries (``delay(attempt) == base * multiplier**attempt``
+  — exactly the inline formula it used to carry);
+* the fleet circuit breaker (:mod:`repro.fleet.qos`) schedules
+  conversion pause/resume with the same curve, bounded by ``cap_ticks``
+  and ``deadline_ticks``;
+* tests prove the two agree by comparing schedules, not behaviours.
+
+Everything is deterministic: jitter is drawn from a *stateless* seeded
+generator keyed on ``(seed, attempt)``, so the n-th delay of a policy is
+a pure function of the policy — replayable from a saved scenario with no
+hidden RNG state.  Time is in abstract Te ticks (the repo-wide cost
+unit); nothing here sleeps or reads a clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["BackoffPolicy", "Backoff", "total_backoff"]
+
+
+def total_backoff(retries: int, base: float, multiplier: float) -> float:
+    """Sum of the first ``retries`` undecorated exponential delays.
+
+    ``sum(base * multiplier**k for k in range(retries))`` — the fault
+    plane's historical accounting formula, kept as a closed helper so
+    its tests can pin the schedule of :class:`BackoffPolicy` against it.
+    """
+    return float(sum(base * multiplier**attempt for attempt in range(retries)))
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Bounded exponential backoff with deterministic seeded jitter.
+
+    ``delay(attempt) = min(base * multiplier**attempt, cap) * j`` where
+    ``j`` is drawn uniformly from ``[1 - jitter, 1]`` by a generator
+    seeded on ``(seed, attempt)`` — stateless, so two evaluations of the
+    same attempt agree.  ``jitter=0`` (default) reproduces the fault
+    plane's exact inline schedule.
+
+    ``max_attempts`` bounds how many delays a :class:`Backoff` instance
+    hands out; ``deadline_ticks`` additionally bounds their *sum* (the
+    total time a caller may spend backing off before giving up).
+    """
+
+    base_ticks: float = 1.0
+    multiplier: float = 2.0
+    max_attempts: int = 3
+    cap_ticks: float | None = None
+    deadline_ticks: float | None = None
+    jitter: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base_ticks < 0 or self.multiplier < 0:
+            raise ValueError("base_ticks and multiplier must be non-negative")
+        if self.max_attempts < 0:
+            raise ValueError("max_attempts must be non-negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(self, attempt: int) -> float:
+        """The ``attempt``-th delay (0-based), capped and jittered."""
+        d = self.base_ticks * self.multiplier**attempt
+        if self.cap_ticks is not None:
+            d = min(d, self.cap_ticks)
+        if self.jitter:
+            u = float(np.random.default_rng((self.seed, attempt)).random())
+            d *= 1.0 - self.jitter * u
+        return float(d)
+
+    def schedule(self) -> tuple[float, ...]:
+        """Every delay the policy will grant, honouring the deadline."""
+        out: list[float] = []
+        spent = 0.0
+        for attempt in range(self.max_attempts):
+            d = self.delay(attempt)
+            if self.deadline_ticks is not None and spent + d > self.deadline_ticks:
+                break
+            out.append(d)
+            spent += d
+        return tuple(out)
+
+    def total(self, attempts: int | None = None) -> float:
+        """Sum of the first ``attempts`` delays (default: the full schedule)."""
+        if attempts is None:
+            return float(sum(self.schedule()))
+        return float(sum(self.delay(a) for a in range(attempts)))
+
+
+class Backoff:
+    """Mutable retry state over a :class:`BackoffPolicy`.
+
+    ``next_delay()`` hands out the schedule one delay at a time and
+    returns ``None`` once the policy is exhausted (attempts or deadline);
+    ``reset()`` re-arms after a success.  The consumer owns the clock —
+    this object never sleeps.
+    """
+
+    __slots__ = ("policy", "attempt", "spent")
+
+    def __init__(self, policy: BackoffPolicy):
+        self.policy = policy
+        self.attempt = 0
+        self.spent = 0.0
+
+    def next_delay(self) -> float | None:
+        if self.attempt >= self.policy.max_attempts:
+            return None
+        d = self.policy.delay(self.attempt)
+        if (
+            self.policy.deadline_ticks is not None
+            and self.spent + d > self.policy.deadline_ticks
+        ):
+            return None
+        self.attempt += 1
+        self.spent += d
+        return d
+
+    @property
+    def exhausted(self) -> bool:
+        """Would :meth:`next_delay` return ``None`` right now?"""
+        if self.attempt >= self.policy.max_attempts:
+            return True
+        if self.policy.deadline_ticks is None:
+            return False
+        return self.spent + self.policy.delay(self.attempt) > self.policy.deadline_ticks
+
+    def reset(self) -> None:
+        self.attempt = 0
+        self.spent = 0.0
+
+    def __iter__(self) -> Iterator[float]:
+        while (d := self.next_delay()) is not None:
+            yield d

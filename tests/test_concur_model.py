@@ -50,7 +50,11 @@ class TestScenarioBattery:
     def test_exhaustive_battery_covers_every_lba(self):
         scenarios = model_scenarios(5, exhaustive=True)
         # 2 groups x 4 rows x 3 data disks = 24 single-write scenarios
-        singles = [s for s in scenarios if len(s.lbas) == 1 and s.batch == 1]
+        # (the fleet pause/spare singles ride on representative LBAs only)
+        singles = [
+            s for s in scenarios
+            if len(s.lbas) == 1 and s.batch == 1 and not s.pauses and not s.spare
+        ]
         assert sorted(s.lbas[0] for s in singles) == list(range(24))
         assert any(len(s.lbas) == 2 for s in scenarios)
         assert any(len(s.lbas) == 3 for s in scenarios)
@@ -68,7 +72,7 @@ class TestScenarioBattery:
 
     def test_sampled_battery_is_small(self):
         scenarios = model_scenarios(7, exhaustive=False)
-        assert 0 < len(scenarios) < 12
+        assert 0 < len(scenarios) < 16
         assert all(s.p == 7 for s in scenarios)
         assert any(s.batch > 1 for s in scenarios)
 
@@ -255,3 +259,75 @@ class TestRunnerWiring:
         checks, findings = run_concur_selftest()
         assert checks >= 8
         assert findings == []
+
+
+class TestFleetTransitions:
+    """The fleet's pause (P), disk-failure (F) and spare-attach (S) rules."""
+
+    def test_pause_resume_is_clean(self):
+        stats, findings = check_scenario(
+            ModelScenario(p=5, groups=2, lbas=(0, 7), pauses=1)
+        )
+        assert findings == []
+        base, _ = check_scenario(ModelScenario(p=5, groups=2, lbas=(0, 7)))
+        assert stats.states > base.states  # P genuinely enlarges the space
+
+    def test_spare_attach_is_clean_on_every_data_disk(self):
+        for disk in range(4):
+            _, findings = check_scenario(
+                ModelScenario(p=5, groups=2, lbas=(3,), spare=True, fail_disk=disk)
+            )
+            assert findings == [], (disk, findings)
+
+    def test_batched_spare_scenario_is_clean(self):
+        _, findings = check_scenario(
+            ModelScenario(p=5, groups=2, lbas=(0, 7), batch=2, spare=True, fail_disk=1)
+        )
+        assert findings == []
+
+    def test_pause_plus_spare_compose(self):
+        _, findings = check_scenario(
+            ModelScenario(p=5, groups=2, lbas=(0,), pauses=1, spare=True, fail_disk=2)
+        )
+        assert findings == []
+
+    def test_labels_carry_fleet_alphabet(self):
+        paused = ModelScenario(p=5, groups=2, lbas=(0,), pauses=1)
+        spared = ModelScenario(p=5, groups=2, lbas=(0,), spare=True, fail_disk=1)
+        assert "pauses=1" in paused.label
+        assert "spare(d1)" in spared.label
+
+    def test_invalid_spare_disk_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            check_scenario(
+                ModelScenario(p=5, groups=2, lbas=(0,), spare=True, fail_disk=4)
+            )
+
+    def test_battery_includes_fleet_scenarios(self):
+        labels = [s.label for s in model_scenarios(5, exhaustive=True)]
+        assert any("pauses=1" in label for label in labels)
+        assert any("spare(" in label for label in labels)
+
+    def test_dropped_reconstruct_write_is_caught(self):
+        """A converter that swallows writes to failed-disk blocks must
+        trip SC-C001 via the reconstruction read — the degraded
+        invariants have teeth, not just vacuous skips."""
+        from repro.migration.online import OnlineCode56Conversion as _Conv
+
+        class DropReconstructWrite(_Conv):
+            def _serve(self, req, clock, report):
+                if req.is_write:
+                    _g, _r, disk, _stripe = self.locate(req.lba)
+                    if disk in self.array.failed_disks:
+                        return clock + 1.0  # swallow the write, charge a tick
+                return super()._serve(req, clock, report)
+
+        # LBA 1 lives on data disk 1 — the failed one — so its write
+        # exercises exactly the reconstruct-write path being swallowed
+        _, findings = check_scenario(
+            ModelScenario(p=5, groups=2, lbas=(1, 8), spare=True, fail_disk=1),
+            converter_cls=DropReconstructWrite,
+        )
+        assert any(f.rule == "SC-C001" for f in findings)

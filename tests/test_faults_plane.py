@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.faults import (
     ConversionCrash,
@@ -53,6 +55,72 @@ class TestScenarioRoundTrip:
         armed = base.with_crash(4, 0.5)
         assert (armed.crash_at, armed.crash_tear) == (4, 0.5)
         assert armed.without_crash() == base
+
+    def test_every_registered_event_type_round_trips(self):
+        # one entry of every type in _SCHEDULE_FIELDS; a newly
+        # registered event type that misses its _FIELD_TYPES coercions
+        # fails here before it ships in a CI artifact
+        from repro.faults.spec import _SCHEDULE_FIELDS
+
+        scenario = FaultScenario(
+            sector_errors=(SectorError(0, 1),),
+            torn_writes=(TornWrite(2, 0.75),),
+            transients=(TransientFault(3, failures=1),),
+            disk_failures=(DiskFailureAt(4, disk=2),),
+        )
+        doc = scenario.to_dict()
+        for name in _SCHEDULE_FIELDS:
+            assert len(doc[name]) == 1, f"{name} dropped in to_dict"
+        assert FaultScenario.from_dict(doc) == scenario
+
+    @given(data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_property_round_trip_over_full_grammar(self, data):
+        # numpy scalars are deliberately mixed in: schedule entries are
+        # routinely built straight from rng draws and the boundary must
+        # coerce them to JSON primitives
+        def op(coerce=False):
+            v = data.draw(st.integers(0, 10_000))
+            return np.int64(v) if coerce and data.draw(st.booleans()) else v
+
+        scenario = FaultScenario(
+            seed=op(coerce=True),
+            sector_errors=tuple(
+                SectorError(op(coerce=True), op())
+                for _ in range(data.draw(st.integers(0, 3)))
+            ),
+            torn_writes=tuple(
+                TornWrite(op(), data.draw(st.floats(0.0, 1.0)))
+                for _ in range(data.draw(st.integers(0, 3)))
+            ),
+            transients=tuple(
+                TransientFault(op(), failures=data.draw(st.integers(1, 5)))
+                for _ in range(data.draw(st.integers(0, 3)))
+            ),
+            disk_failures=tuple(
+                DiskFailureAt(op(), disk=op(coerce=True))
+                for _ in range(data.draw(st.integers(0, 3)))
+            ),
+            transient_rate=data.draw(st.floats(0.0, 1.0)),
+            crash_at=data.draw(st.none() | st.integers(0, 100)),
+            crash_tear=data.draw(st.none() | st.floats(0.0, 1.0)),
+            retry=RetryPolicy(
+                max_retries=data.draw(st.integers(0, 8)),
+                backoff_base_ticks=data.draw(st.floats(0.0, 16.0)),
+                backoff_multiplier=data.draw(st.floats(1.0, 4.0)),
+            ),
+            meta={
+                "p": op(coerce=True),
+                "note": data.draw(st.text(max_size=12)),
+                "flag": data.draw(st.booleans()),
+                "nested": [op(coerce=True), None],
+            },
+        )
+        restored = FaultScenario.from_json(scenario.to_json())
+        # numpy scalars compare == to their Python values, so dataclass
+        # equality holds; the JSON text itself must also be stable
+        assert restored == scenario
+        assert restored.to_json() == FaultScenario.from_json(restored.to_json()).to_json()
 
 
 class TestSectorErrors:

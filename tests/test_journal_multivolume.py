@@ -1,0 +1,159 @@
+"""Per-volume OnlineJournal watermarks under fleet-style interleaving.
+
+The fleet runs many converters concurrently, one journal per volume.
+These tests prove the watermark protocol composes: journals are
+isolated (a mark in one never changes another's resume point), a crash
+of one volume mid-interleave resumes from *its* journal without
+perturbing the survivor, and replayed/duplicated marks stay idempotent
+even when the replay interleaves two volumes' logs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults.journal import OnlineJournal
+from repro.migration import OnlineCode56Conversion
+from repro.migration.online import OnlineReport
+from repro.raid import BlockArray, Raid5Array, Raid5Layout
+
+P, GROUPS = 5, 2
+ROWS = P - 1
+TOTAL = GROUPS * ROWS
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def volume(rng, seed_offset=0, batch=1):
+    """(array, data, journal, converter) for one independent volume."""
+    m = P - 1
+    array = BlockArray(m, GROUPS * ROWS, block_size=8)
+    r5 = Raid5Array(array, Raid5Layout.LEFT_ASYMMETRIC)
+    data = np.random.default_rng((0, seed_offset)).integers(
+        0, 256, size=(r5.capacity_blocks, 8), dtype=np.uint8
+    )
+    r5.format_with(data)
+    array.add_disk()
+    journal = OnlineJournal(GROUPS, ROWS)
+    conv = OnlineCode56Conversion(array, P, journal=journal, batch=batch)
+    return array, data, journal, conv
+
+
+def finish(conv, journal):
+    report = OnlineReport()
+    while conv.pending_parity() is not None:
+        conv.generate_step(report)
+        conv.mark_step()
+    assert journal.count() == TOTAL
+    assert conv.verify()
+
+
+class TestIsolation:
+    def test_marks_do_not_leak_between_volumes(self, rng):
+        _, _, j_a, conv_a = volume(rng, 0)
+        _, _, j_b, conv_b = volume(rng, 1)
+        report = OnlineReport()
+        # drive A three parities ahead while B stands still
+        for _ in range(3):
+            conv_a.generate_step(report)
+            conv_a.mark_step()
+        assert j_a.count() == 3
+        assert j_b.count() == 0
+        assert conv_b.pending_parity() == (0, 0)
+        # B's resume point is a function of B's journal alone
+        _, _, _, resumed_b = volume(rng, 1)
+        assert resumed_b.pending_parity() == (0, 0)
+
+    def test_same_shape_journals_are_independent_objects(self, rng):
+        j_a, j_b = OnlineJournal(GROUPS, ROWS), OnlineJournal(GROUPS, ROWS)
+        j_a.mark(0, 0)
+        assert not j_b.is_marked(0, 0)
+        j_b.restore_marks(j_a.marked())
+        j_a.unmark(0, 0)
+        assert j_b.is_marked(0, 0)  # snapshot was a copy, not a view
+
+
+class TestInterleavedCrashResume:
+    def test_one_volume_crashes_mid_interleave(self, rng):
+        """A and B alternate steps; A 'crashes' (converter abandoned,
+        parity written but unmarked); A resumes from its own watermark
+        and both land bit-identical to clean runs."""
+        array_a, data_a, j_a, conv_a = volume(rng, 0)
+        array_b, data_b, j_b, conv_b = volume(rng, 1)
+        report = OnlineReport()
+        for _ in range(3):  # interleave: A, B, A, B, ...
+            conv_a.generate_step(report)
+            conv_a.mark_step()
+            conv_b.generate_step(report)
+            conv_b.mark_step()
+        # A's crash window: parity generated, mark never flushed
+        conv_a.generate_step(report)
+        del conv_a
+        marks_b = j_b.marked().copy()
+        resumed_a = OnlineCode56Conversion(array_a, P, journal=j_a)
+        # the unmarked parity is regenerated, not trusted
+        assert resumed_a.pending_parity() == (0, 3)
+        finish(resumed_a, j_a)
+        assert np.array_equal(j_b.marked(), marks_b)  # B untouched
+        finish(conv_b, j_b)
+        for array, data in ((array_a, data_a), (array_b, data_b)):
+            r5 = Raid5Array(array, Raid5Layout.LEFT_ASYMMETRIC, n_disks=P - 1)
+            for lba in range(r5.capacity_blocks):
+                assert np.array_equal(r5.read(lba), data[lba])
+
+    def test_batched_crash_resume_leaves_other_volume_alone(self, rng):
+        array_a, _, j_a, conv_a = volume(rng, 0, batch=ROWS)
+        _, _, j_b, conv_b = volume(rng, 1, batch=ROWS)
+        report = OnlineReport()
+        # A commits one full run; B generates a run but crashes before
+        # its group commit
+        conv_a.generate_run_step(report, budget=ROWS)
+        conv_a.mark_run_step()
+        conv_b.generate_run_step(report, budget=ROWS)
+        del conv_b
+        assert j_a.count() == ROWS
+        assert j_b.count() == 0  # the whole window is unmarked
+        resumed_a = OnlineCode56Conversion(array_a, P, journal=j_a, batch=ROWS)
+        assert resumed_a.pending_parity() == (1, 0)
+
+
+class TestDuplicatedMarkReplay:
+    def test_interleaved_replay_of_two_logs(self, rng):
+        """Replaying both volumes' tails (with duplicates) against the
+        same journals is a no-op for completed entries and drops marks
+        whose parity writes never landed."""
+        array_a, data_a, j_a, conv_a = volume(rng, 0)
+        array_b, data_b, j_b, conv_b = volume(rng, 1)
+        report = OnlineReport()
+        for _ in range(2):
+            conv_a.generate_step(report)
+            conv_a.mark_step()
+            conv_b.generate_step(report)
+            conv_b.mark_step()
+        # interleaved replay: each log's tail re-marked, plus one stale
+        # record per volume (no parity bytes behind it)
+        for j in (j_a, j_b):
+            j.mark(0, 0)
+            j.mark(0, 1)
+            j.mark(0, 2)  # stale: parity (0, 2) was never written
+        counts = (j_a.count(), j_b.count())
+        assert counts == (3, 3)
+        resumed_a = OnlineCode56Conversion(array_a, P, journal=j_a)
+        resumed_b = OnlineCode56Conversion(array_b, P, journal=j_b)
+        # trust-but-verify dropped exactly the stale mark on each volume
+        for j, resumed in ((j_a, resumed_a), (j_b, resumed_b)):
+            assert j.count() == 2
+            assert not j.is_marked(0, 2)
+            assert resumed.pending_parity() == (0, 2)
+        finish(resumed_a, j_a)
+        finish(resumed_b, j_b)
+
+    def test_mark_many_duplicates_are_one_flush(self, rng):
+        j = OnlineJournal(GROUPS, ROWS)
+        j.mark_many([(0, 0), (0, 1), (0, 0), (0, 1)])
+        assert j.count() == 2
+        assert j.appends == 1  # one group commit regardless of duplicates
+        j.mark_many([])
+        assert j.appends == 1  # empty replay batch is not a flush

@@ -1,0 +1,105 @@
+"""The shared retry/backoff policy: schedule identity across consumers."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlane, FaultScenario, RetryPolicy, TransientFault
+from repro.fleet.qos import DEFAULT_BREAKER_POLICY
+from repro.raid.array import BlockArray
+from repro.util.retry import Backoff, BackoffPolicy, total_backoff
+
+
+class TestTotalBackoff:
+    def test_closed_form(self):
+        assert total_backoff(3, 1.0, 2.0) == 1.0 + 2.0 + 4.0
+        assert total_backoff(0, 1.0, 2.0) == 0.0
+        assert total_backoff(4, 0.5, 3.0) == 0.5 + 1.5 + 4.5 + 13.5
+
+
+class TestPolicySchedule:
+    def test_undecorated_schedule_is_pure_exponential(self):
+        policy = BackoffPolicy(base_ticks=1.0, multiplier=2.0, max_attempts=5)
+        assert policy.schedule() == (1.0, 2.0, 4.0, 8.0, 16.0)
+        assert policy.total() == total_backoff(5, 1.0, 2.0)
+
+    def test_cap_bounds_each_delay(self):
+        policy = BackoffPolicy(
+            base_ticks=1.0, multiplier=2.0, max_attempts=6, cap_ticks=5.0
+        )
+        assert policy.schedule() == (1.0, 2.0, 4.0, 5.0, 5.0, 5.0)
+
+    def test_deadline_bounds_the_sum(self):
+        policy = BackoffPolicy(
+            base_ticks=1.0, multiplier=2.0, max_attempts=10, deadline_ticks=7.0
+        )
+        # 1 + 2 + 4 = 7 fits exactly; the next delay (8) would overrun
+        assert policy.schedule() == (1.0, 2.0, 4.0)
+
+    def test_jitter_is_stateless_and_seeded(self):
+        policy = BackoffPolicy(base_ticks=8.0, jitter=0.5, seed=3, max_attempts=4)
+        assert policy.schedule() == policy.schedule()
+        for attempt, d in enumerate(policy.schedule()):
+            undecorated = 8.0 * 2.0**attempt
+            assert 0.5 * undecorated <= d <= undecorated
+            assert d == policy.delay(attempt)  # pure function of (seed, attempt)
+        other = BackoffPolicy(base_ticks=8.0, jitter=0.5, seed=4, max_attempts=4)
+        assert other.schedule() != policy.schedule()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            BackoffPolicy(base_ticks=-1.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(max_attempts=-1)
+
+
+class TestBackoffIterator:
+    def test_hands_out_schedule_then_none(self):
+        b = Backoff(BackoffPolicy(base_ticks=1.0, max_attempts=3))
+        assert [b.next_delay() for _ in range(4)] == [1.0, 2.0, 4.0, None]
+        assert b.exhausted
+        b.reset()
+        assert not b.exhausted
+        assert list(b) == [1.0, 2.0, 4.0]
+
+    def test_deadline_exhaustion(self):
+        b = Backoff(BackoffPolicy(base_ticks=1.0, max_attempts=10, deadline_ticks=3.0))
+        assert b.next_delay() == 1.0
+        assert b.next_delay() == 2.0
+        assert b.next_delay() is None  # 4 would push spent past 3... the deadline
+        assert b.exhausted
+
+
+class TestScheduleIdentity:
+    """The one-formula guarantee: every consumer walks the same curve."""
+
+    def test_policy_reproduces_fault_plane_accounting(self):
+        # the plane accrues total_backoff(retries, base, mult) per
+        # exhausted transient; a jitterless BackoffPolicy with the same
+        # parameters must sum to the identical ticks
+        retry = RetryPolicy(max_retries=3, backoff_base_ticks=1.0,
+                            backoff_multiplier=2.0)
+        policy = BackoffPolicy(
+            base_ticks=retry.backoff_base_ticks,
+            multiplier=retry.backoff_multiplier,
+            max_attempts=retry.max_retries,
+        )
+        array = BlockArray(3, 4, block_size=8)
+        for d in range(3):
+            for blk in range(4):
+                array.write(d, blk, np.zeros(8, dtype=np.uint8))
+        plane = FaultPlane(FaultScenario(
+            transients=(TransientFault(op=0, failures=3),), retry=retry,
+        ))
+        plane.attach(array)
+        array.read(0, 0)
+        plane.detach()
+        assert plane.backoff_ticks == policy.total() == 1.0 + 2.0 + 4.0
+
+    def test_breaker_default_policy_schedule(self):
+        # the fleet breaker's pause curve, pinned: 32, 64, ..., capped
+        # at 256 and cut off after six pauses
+        assert DEFAULT_BREAKER_POLICY.schedule() == (
+            32.0, 64.0, 128.0, 256.0, 256.0, 256.0
+        )
